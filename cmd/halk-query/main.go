@@ -1,0 +1,118 @@
+// Command halk-query answers logical queries with a trained HaLk
+// checkpoint, either from a SPARQL string (executed through the Adaptor
+// of Sec. IV-F) or by sampling a named query structure.
+//
+// Usage:
+//
+//	halk-query -ckpt nell.ckpt -sparql 'SELECT ?x WHERE { :e0007 :r003 ?y . ?y :r010 ?x }'
+//	halk-query -ckpt nell.ckpt -structure pi -k 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/sparql"
+	"github.com/halk-kg/halk/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("halk-query: ")
+
+	var (
+		ckpt      = flag.String("ckpt", "halk.ckpt", "checkpoint path written by halk-train")
+		sparqlSrc = flag.String("sparql", "", "SPARQL query to answer")
+		dsl       = flag.String("query", "", "or: a query in the prefix DSL, e.g. 'i(p[r003](e0007), p[r010](e0042))'")
+		structure = flag.String("structure", "", "or: sample one query of this structure (e.g. pi)")
+		k         = flag.Int("k", 10, "number of answers to print")
+		vizDim    = flag.Int("viz", -1, "render this embedding dimension as an ASCII circle")
+		seed      = flag.Int64("qseed", 7, "sampling seed for -structure")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	var ds *kg.Dataset
+	m, hdr, err := halk.LoadCheckpoint(f, func(hdr halk.CheckpointHeader) (*kg.Graph, error) {
+		switch hdr.Dataset {
+		case "FB15k":
+			ds = kg.SynthFB15k(hdr.Seed)
+		case "FB237":
+			ds = kg.SynthFB237(hdr.Seed)
+		case "NELL":
+			ds = kg.SynthNELL(hdr.Seed)
+		default:
+			return nil, fmt.Errorf("unknown dataset %q in checkpoint", hdr.Dataset)
+		}
+		return ds.Train, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s model (d=%d) trained on %s", m.Name(), hdr.Config.Dim, hdr.Dataset)
+
+	var root *query.Node
+	switch {
+	case *sparqlSrc != "":
+		pq, err := sparql.Parse(*sparqlSrc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := &sparql.Adaptor{Entities: ds.Train.Entities, Relations: ds.Train.Relations}
+		root, err = a.Compile(pq)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *dsl != "":
+		root, err = query.Parse(*dsl, ds.Train.Entities, ds.Train.Relations)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *structure != "":
+		if !query.HasStructure(*structure) {
+			log.Fatalf("unknown structure %q; known: %v", *structure, query.StructureNames())
+		}
+		s := query.NewSampler(ds.Test, rand.New(rand.NewSource(*seed)))
+		var ok bool
+		root, ok = s.Sample(*structure)
+		if !ok {
+			log.Fatalf("could not sample a %s query", *structure)
+		}
+	default:
+		log.Fatal("pass -sparql, -query or -structure")
+	}
+
+	fmt.Printf("query: %s\n", root)
+	truth := query.Answers(root, ds.Test)
+	fmt.Printf("ground truth (test graph): %d answers\n", len(truth))
+
+	for rank, e := range m.TopK(root, *k) {
+		mark := " "
+		if truth.Has(e) {
+			mark = "*"
+		}
+		fmt.Printf("%2d. %s %s\n", rank+1, ds.Train.Entities.Name(int32(e)), mark)
+	}
+	fmt.Println("(* = true answer on the test graph)")
+
+	if *vizDim >= 0 && *vizDim < hdr.Config.Dim {
+		arcs := m.EmbedQuery(root)
+		var pts [][]float64
+		for _, e := range m.TopK(root, 6) {
+			pts = append(pts, m.EntityAngles(e))
+		}
+		fmt.Printf("\nembedding dimension %d (labels = top answers in rank order):\n", *vizDim)
+		fmt.Print(viz.Dimension(*vizDim, hdr.Config.Rho, arcs[0].C, arcs[0].L, pts))
+	}
+}

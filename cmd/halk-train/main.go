@@ -1,0 +1,80 @@
+// Command halk-train trains a HaLk model on one of the benchmark
+// stand-in datasets and writes a checkpoint.
+//
+// Usage:
+//
+//	halk-train -dataset NELL -steps 8000 -out nell.ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("halk-train: ")
+
+	var (
+		dataset = flag.String("dataset", "FB237", "dataset stand-in: FB15k, FB237 or NELL")
+		seed    = flag.Int64("seed", 1, "dataset and model seed")
+		dim     = flag.Int("dim", 64, "embedding dimensionality")
+		hidden  = flag.Int("hidden", 64, "operator MLP width")
+		steps   = flag.Int("steps", 8000, "optimizer steps")
+		out     = flag.String("out", "halk.ckpt", "checkpoint output path")
+	)
+	flag.Parse()
+
+	ds, err := datasetByName(*dataset, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dataset %s: %d entities, %d relations, %d/%d/%d train/valid/test triples",
+		ds.Name, ds.Train.NumEntities(), ds.Train.NumRelations(),
+		ds.Train.NumTriples(), ds.Valid.NumTriples(), ds.Test.NumTriples())
+
+	cfg := halk.DefaultConfig(*seed)
+	cfg.Dim, cfg.Hidden = *dim, *hidden
+	cfg.Gamma = 24 * float64(*dim) / 800
+	m := halk.New(ds.Train, cfg)
+	log.Printf("model: %d parameters", m.Params().Count())
+
+	tc := model.DefaultTrainConfig(*seed)
+	tc.Steps = *steps
+	tc.Progress = func(step int, loss float64) {
+		log.Printf("step %6d  loss %.4f", step, loss)
+	}
+	res, err := model.Train(m, ds.Train, tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trained %d steps in %v (final loss %.4f)", res.Steps, res.Elapsed, res.FinalLoss)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.SaveCheckpoint(f, ds.Name, *seed); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("checkpoint written to %s", *out)
+}
+
+func datasetByName(name string, seed int64) (*kg.Dataset, error) {
+	switch name {
+	case "FB15k":
+		return kg.SynthFB15k(seed), nil
+	case "FB237":
+		return kg.SynthFB237(seed), nil
+	case "NELL":
+		return kg.SynthNELL(seed), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q (want FB15k, FB237 or NELL)", name)
+}

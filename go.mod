@@ -1,0 +1,3 @@
+module github.com/halk-kg/halk
+
+go 1.22

@@ -1,0 +1,106 @@
+// Package ann provides the approximate range search over entity point
+// embeddings used by HaLk's online answer-identification phase
+// (Sec. III-H suggests Locality Sensitive Hashing). The index buckets
+// entities by quantised angles on a few randomly chosen dimensions
+// ("bands"); a query probes the buckets its arc center falls into plus
+// the adjacent ones, yielding a small candidate set to rank exactly.
+package ann
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/halk-kg/halk/internal/geometry"
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+// Index is an angular multi-band hash over entity angle vectors.
+type Index struct {
+	bands   []band
+	numEnts int
+}
+
+type band struct {
+	dim     int     // which embedding dimension this band quantises
+	width   float64 // bucket width in radians
+	buckets map[int][]kg.EntityID
+}
+
+// Config controls index construction.
+type Config struct {
+	// Bands is the number of independent hash bands; more bands = higher
+	// recall, more probes.
+	Bands int
+	// BucketsPerBand is the angular resolution of each band.
+	BucketsPerBand int
+	// Seed selects the banded dimensions.
+	Seed int64
+}
+
+// DefaultConfig returns a recall-friendly configuration for d >= 8.
+func DefaultConfig(seed int64) Config {
+	return Config{Bands: 8, BucketsPerBand: 8, Seed: seed}
+}
+
+// New builds an index over points, where points[e] is the angle vector
+// of entity e.
+func New(points [][]float64, cfg Config) *Index {
+	if len(points) == 0 {
+		return &Index{}
+	}
+	dim := len(points[0])
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ix := &Index{numEnts: len(points)}
+	for b := 0; b < cfg.Bands; b++ {
+		bd := band{
+			dim:     rng.Intn(dim),
+			width:   geometry.TwoPi / float64(cfg.BucketsPerBand),
+			buckets: make(map[int][]kg.EntityID),
+		}
+		for e, p := range points {
+			k := bd.key(p[bd.dim])
+			bd.buckets[k] = append(bd.buckets[k], kg.EntityID(e))
+		}
+		ix.bands = append(ix.bands, bd)
+	}
+	return ix
+}
+
+func (b *band) key(theta float64) int {
+	return int(math.Floor(geometry.Wrap(theta) / b.width))
+}
+
+func (b *band) numBuckets() int {
+	return int(math.Round(geometry.TwoPi / b.width))
+}
+
+// Candidates returns the union of entities sharing a bucket (or an
+// adjacent bucket within the given angular radius) with the query center
+// on any band. The result is a superset candidate pool for exact
+// ranking; it may miss true neighbours (LSH is approximate).
+func (ix *Index) Candidates(center []float64, radius float64) []kg.EntityID {
+	seen := make(map[kg.EntityID]struct{})
+	for _, b := range ix.bands {
+		if b.dim >= len(center) {
+			continue
+		}
+		theta := center[b.dim]
+		spread := int(math.Ceil(radius/b.width)) + 1
+		n := b.numBuckets()
+		base := b.key(theta)
+		for off := -spread; off <= spread; off++ {
+			k := ((base+off)%n + n) % n
+			for _, e := range b.buckets[k] {
+				seen[e] = struct{}{}
+			}
+		}
+	}
+	out := make([]kg.EntityID, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Len returns the number of indexed entities.
+func (ix *Index) Len() int { return ix.numEnts }

@@ -1,0 +1,108 @@
+package ann
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/geometry"
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+func randomPoints(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = rng.Float64() * geometry.TwoPi
+		}
+	}
+	return pts
+}
+
+func TestIndexCandidatesContainSameBucketPoints(t *testing.T) {
+	pts := randomPoints(200, 8, 1)
+	ix := New(pts, DefaultConfig(2))
+	if ix.Len() != 200 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	// Query with a point that is itself indexed: it must be among its
+	// own candidates (it shares every bucket with itself).
+	for e := 0; e < 200; e += 17 {
+		cands := ix.Candidates(pts[e], 0.1)
+		found := false
+		for _, c := range cands {
+			if c == kg.EntityID(e) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("entity %d missing from its own candidate set", e)
+		}
+	}
+}
+
+func TestIndexRecallOfNearNeighbours(t *testing.T) {
+	// Points clustered around a center must be retrieved with a radius
+	// covering the cluster.
+	d := 8
+	rng := rand.New(rand.NewSource(3))
+	center := make([]float64, d)
+	for j := range center {
+		center[j] = rng.Float64() * geometry.TwoPi
+	}
+	var pts [][]float64
+	// 20 near neighbours within ±0.1 radians on every dimension
+	for i := 0; i < 20; i++ {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = geometry.Wrap(center[j] + (rng.Float64()-0.5)*0.2)
+		}
+		pts = append(pts, p)
+	}
+	// 200 random distractors
+	pts = append(pts, randomPoints(200, d, 4)...)
+
+	ix := New(pts, Config{Bands: 8, BucketsPerBand: 8, Seed: 5})
+	cands := ix.Candidates(center, 0.2)
+	got := make(map[kg.EntityID]bool)
+	for _, c := range cands {
+		got[c] = true
+	}
+	recall := 0
+	for i := 0; i < 20; i++ {
+		if got[kg.EntityID(i)] {
+			recall++
+		}
+	}
+	if recall < 18 {
+		t.Errorf("recall of near neighbours %d/20", recall)
+	}
+}
+
+func TestCandidatesDeduplicated(t *testing.T) {
+	pts := randomPoints(50, 4, 6)
+	ix := New(pts, Config{Bands: 6, BucketsPerBand: 4, Seed: 7})
+	cands := ix.Candidates(pts[0], geometry.TwoPi) // probe everything
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for i := 1; i < len(cands); i++ {
+		if cands[i] == cands[i-1] {
+			t.Fatal("duplicate candidate")
+		}
+	}
+	if len(cands) != 50 {
+		t.Errorf("full-circle probe returned %d of 50", len(cands))
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := New(nil, DefaultConfig(1))
+	if ix.Len() != 0 {
+		t.Error("empty index should have length 0")
+	}
+	if got := ix.Candidates([]float64{0}, 1); len(got) != 0 {
+		t.Error("empty index should return no candidates")
+	}
+}

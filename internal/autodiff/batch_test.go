@@ -1,0 +1,88 @@
+package autodiff
+
+import "testing"
+
+func TestRepeatValuesAndGradient(t *testing.T) {
+	tp := NewTape()
+	var grad []float64
+	x := tp.Leaf([]float64{1, 2}, func(g []float64) { grad = append([]float64(nil), g...) })
+	r := tp.Repeat(x, 3)
+	want := []float64{1, 2, 1, 2, 1, 2}
+	for i, v := range r.Value() {
+		if v != want[i] {
+			t.Fatalf("Repeat value[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+	// weight each copy differently: grads must sum across copies
+	w := tp.Const([]float64{1, 1, 10, 10, 100, 100})
+	tp.Backward(tp.Sum(tp.Mul(r, w)))
+	if grad[0] != 111 || grad[1] != 111 {
+		t.Errorf("Repeat grad = %v, want [111 111]", grad)
+	}
+}
+
+func TestSumSegmentsValuesAndGradient(t *testing.T) {
+	tp := NewTape()
+	var grad []float64
+	x := tp.Leaf([]float64{1, 2, 3, 4, 5, 6}, func(g []float64) { grad = append([]float64(nil), g...) })
+	s := tp.SumSegments(x, 2)
+	want := []float64{3, 7, 11}
+	for i, v := range s.Value() {
+		if v != want[i] {
+			t.Fatalf("SumSegments[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+	w := tp.Const([]float64{1, 10, 100})
+	tp.Backward(tp.Sum(tp.Mul(s, w)))
+	wantG := []float64{1, 1, 10, 10, 100, 100}
+	for i := range wantG {
+		if grad[i] != wantG[i] {
+			t.Errorf("grad[%d] = %g, want %g", i, grad[i], wantG[i])
+		}
+	}
+}
+
+func TestSumSegmentsPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tp := NewTape()
+	tp.SumSegments(tp.Const([]float64{1, 2, 3}), 2)
+}
+
+func TestSliceValuesAndGradient(t *testing.T) {
+	tp := NewTape()
+	var grad []float64
+	x := tp.Leaf([]float64{1, 2, 3, 4}, func(g []float64) { grad = append([]float64(nil), g...) })
+	s := tp.Slice(x, 1, 2)
+	if s.Len() != 2 || s.Value()[0] != 2 || s.Value()[1] != 3 {
+		t.Fatalf("Slice = %v", s.Value())
+	}
+	tp.Backward(tp.Sum(s))
+	want := []float64{0, 1, 1, 0}
+	for i := range want {
+		if grad[i] != want[i] {
+			t.Errorf("grad[%d] = %g, want %g", i, grad[i], want[i])
+		}
+	}
+}
+
+func TestSlicePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tp := NewTape()
+	tp.Slice(tp.Const([]float64{1}), 0, 2)
+}
+
+func TestMean(t *testing.T) {
+	tp := NewTape()
+	m := tp.Mean(tp.Const([]float64{2, 4, 6}))
+	if m.Len() != 1 || m.Value()[0] != 4 {
+		t.Errorf("Mean = %v, want [4]", m.Value())
+	}
+}

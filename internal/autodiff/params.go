@@ -1,0 +1,184 @@
+package autodiff
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Tensor is a named, trainable parameter: a dense row-major matrix (or a
+// vector when Rows == 1). Grad accumulates gradients between optimizer
+// steps; M and Vm are the Adam moment buffers.
+type Tensor struct {
+	Name string
+	Rows int
+	Cols int
+	Data []float64
+
+	Grad []float64
+	M    []float64
+	Vm   []float64
+
+	mu sync.Mutex
+}
+
+// Row returns the i-th row of the tensor's data.
+func (t *Tensor) Row(i int) []float64 { return t.Data[i*t.Cols : (i+1)*t.Cols] }
+
+// AddGrad accumulates g into the gradient of row i. It is safe for
+// concurrent use by multiple goroutines.
+func (t *Tensor) AddGrad(i int, g []float64) {
+	t.mu.Lock()
+	gr := t.Grad[i*t.Cols : (i+1)*t.Cols]
+	for j := range g {
+		gr[j] += g[j]
+	}
+	t.mu.Unlock()
+}
+
+// ZeroGrad clears accumulated gradients.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// Leaf registers row i of the tensor on the tape as a differentiable leaf.
+func (t *Tensor) Leaf(tape *Tape, i int) V {
+	return tape.Leaf(t.Row(i), func(g []float64) { t.AddGrad(i, g) })
+}
+
+// LeafAll registers the whole tensor (flattened) as a leaf; used for
+// weight matrices of linear layers.
+func (t *Tensor) LeafAll(tape *Tape) V {
+	return tape.Leaf(t.Data, func(g []float64) {
+		t.mu.Lock()
+		for j := range g {
+			t.Grad[j] += g[j]
+		}
+		t.mu.Unlock()
+	})
+}
+
+// Params is a registry of named tensors making up a model.
+type Params struct {
+	byName map[string]*Tensor
+}
+
+// NewParams returns an empty parameter registry.
+func NewParams() *Params { return &Params{byName: make(map[string]*Tensor)} }
+
+// New allocates and registers a zero tensor. It panics if the name is
+// already taken.
+func (p *Params) New(name string, rows, cols int) *Tensor {
+	if _, ok := p.byName[name]; ok {
+		panic(fmt.Sprintf("autodiff: duplicate parameter %q", name))
+	}
+	t := &Tensor{
+		Name: name, Rows: rows, Cols: cols,
+		Data: make([]float64, rows*cols),
+		Grad: make([]float64, rows*cols),
+		M:    make([]float64, rows*cols),
+		Vm:   make([]float64, rows*cols),
+	}
+	p.byName[name] = t
+	return t
+}
+
+// NewUniform allocates a tensor initialised uniformly in [lo, hi).
+func (p *Params) NewUniform(name string, rows, cols int, lo, hi float64, rng *rand.Rand) *Tensor {
+	t := p.New(name, rows, cols)
+	for i := range t.Data {
+		t.Data[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return t
+}
+
+// NewXavier allocates a tensor with Glorot-uniform initialisation for a
+// linear layer of shape (rows × cols).
+func (p *Params) NewXavier(name string, rows, cols int, rng *rand.Rand) *Tensor {
+	bound := math.Sqrt(6.0 / float64(rows+cols))
+	return p.NewUniform(name, rows, cols, -bound, bound, rng)
+}
+
+// Get returns the named tensor, or nil.
+func (p *Params) Get(name string) *Tensor { return p.byName[name] }
+
+// All returns the tensors in deterministic (name) order.
+func (p *Params) All() []*Tensor {
+	names := make([]string, 0, len(p.byName))
+	for n := range p.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Tensor, len(names))
+	for i, n := range names {
+		out[i] = p.byName[n]
+	}
+	return out
+}
+
+// ZeroGrad clears gradients of all tensors.
+func (p *Params) ZeroGrad() {
+	for _, t := range p.All() {
+		t.ZeroGrad()
+	}
+}
+
+// Count returns the total number of scalar parameters.
+func (p *Params) Count() int {
+	n := 0
+	for _, t := range p.byName {
+		n += len(t.Data)
+	}
+	return n
+}
+
+type tensorWire struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// Save writes all tensor values (not optimizer state) to w in gob format.
+func (p *Params) Save(w io.Writer) error { return p.Encode(gob.NewEncoder(w)) }
+
+// Encode writes the tensor values through an existing gob encoder; use
+// this when the parameters are one value of a larger gob stream (a gob
+// stream must be read back through a single decoder, so writers and
+// readers of multi-value streams must share encoders/decoders).
+func (p *Params) Encode(enc *gob.Encoder) error {
+	ts := p.All()
+	wire := make([]tensorWire, len(ts))
+	for i, t := range ts {
+		wire[i] = tensorWire{Name: t.Name, Rows: t.Rows, Cols: t.Cols, Data: t.Data}
+	}
+	return enc.Encode(wire)
+}
+
+// Load restores tensor values previously written by Save. Every tensor in
+// the stream must already be registered with matching shape.
+func (p *Params) Load(r io.Reader) error { return p.Decode(gob.NewDecoder(r)) }
+
+// Decode is the counterpart of Encode for multi-value gob streams.
+func (p *Params) Decode(dec *gob.Decoder) error {
+	var wire []tensorWire
+	if err := dec.Decode(&wire); err != nil {
+		return fmt.Errorf("autodiff: load params: %w", err)
+	}
+	for _, tw := range wire {
+		t := p.byName[tw.Name]
+		if t == nil {
+			return fmt.Errorf("autodiff: load params: unknown tensor %q", tw.Name)
+		}
+		if t.Rows != tw.Rows || t.Cols != tw.Cols {
+			return fmt.Errorf("autodiff: load params: tensor %q shape mismatch", tw.Name)
+		}
+		copy(t.Data, tw.Data)
+	}
+	return nil
+}

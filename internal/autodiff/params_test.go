@@ -1,0 +1,208 @@
+package autodiff
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParamsRegistryAndRows(t *testing.T) {
+	p := NewParams()
+	e := p.New("emb", 4, 3)
+	if p.Count() != 12 {
+		t.Fatalf("Count = %d, want 12", p.Count())
+	}
+	e.Row(2)[1] = 7
+	if e.Data[2*3+1] != 7 {
+		t.Error("Row did not alias Data")
+	}
+	if p.Get("emb") != e {
+		t.Error("Get returned wrong tensor")
+	}
+	if p.Get("nope") != nil {
+		t.Error("Get of unknown name should be nil")
+	}
+}
+
+func TestParamsDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate name")
+		}
+	}()
+	p := NewParams()
+	p.New("x", 1, 1)
+	p.New("x", 1, 1)
+}
+
+func TestParamsAllDeterministicOrder(t *testing.T) {
+	p := NewParams()
+	p.New("b", 1, 1)
+	p.New("a", 1, 1)
+	p.New("c", 1, 1)
+	got := p.All()
+	want := []string{"a", "b", "c"}
+	for i, tns := range got {
+		if tns.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, tns.Name, want[i])
+		}
+	}
+}
+
+func TestUniformAndXavierInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewParams()
+	u := p.NewUniform("u", 10, 10, -0.5, 0.5, rng)
+	for _, v := range u.Data {
+		if v < -0.5 || v >= 0.5 {
+			t.Fatalf("uniform init out of range: %g", v)
+		}
+	}
+	x := p.NewXavier("x", 8, 8, rng)
+	bound := math.Sqrt(6.0 / 16.0)
+	for _, v := range x.Data {
+		if v < -bound || v >= bound {
+			t.Fatalf("xavier init out of range: %g", v)
+		}
+	}
+}
+
+func TestTensorLeafGradSink(t *testing.T) {
+	p := NewParams()
+	e := p.New("emb", 3, 2)
+	copy(e.Row(1), []float64{2, 5})
+	tp := NewTape()
+	v := e.Leaf(tp, 1)
+	tp.Backward(tp.Sum(tp.Mul(v, v)))
+	if e.Grad[2] != 4 || e.Grad[3] != 10 {
+		t.Errorf("row grad = %v, want [.. 4 10 ..]", e.Grad)
+	}
+	// second backward accumulates
+	tp.Reset()
+	v = e.Leaf(tp, 1)
+	tp.Backward(tp.Sum(v))
+	if e.Grad[2] != 5 || e.Grad[3] != 11 {
+		t.Errorf("accumulated grad = %v, want [.. 5 11 ..]", e.Grad)
+	}
+	e.ZeroGrad()
+	for _, g := range e.Grad {
+		if g != 0 {
+			t.Fatal("ZeroGrad left non-zero gradient")
+		}
+	}
+}
+
+func TestParamsSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewParams()
+	p.NewUniform("a", 2, 3, -1, 1, rng)
+	p.NewUniform("b", 1, 4, -1, 1, rng)
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	q := NewParams()
+	q.New("a", 2, 3)
+	q.New("b", 1, 4)
+	if err := q.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		src, dst := p.Get(name), q.Get(name)
+		for i := range src.Data {
+			if src.Data[i] != dst.Data[i] {
+				t.Fatalf("tensor %q differs after round trip", name)
+			}
+		}
+	}
+}
+
+func TestParamsLoadShapeMismatch(t *testing.T) {
+	p := NewParams()
+	p.New("a", 2, 2)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := NewParams()
+	q.New("a", 2, 3)
+	if err := q.Load(&buf); err == nil {
+		t.Error("expected shape-mismatch error")
+	}
+}
+
+func TestParamsLoadUnknownTensor(t *testing.T) {
+	p := NewParams()
+	p.New("a", 1, 1)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := NewParams()
+	if err := q.Load(&buf); err == nil {
+		t.Error("expected unknown-tensor error")
+	}
+}
+
+func TestAdamMinimisesQuadratic(t *testing.T) {
+	// minimise f(x) = sum (x - c)^2 from x = 0
+	p := NewParams()
+	x := p.New("x", 1, 3)
+	c := []float64{1.5, -2.0, 0.5}
+	opt := NewAdam(0.05)
+	for step := 0; step < 2000; step++ {
+		tp := NewTape()
+		xv := x.Leaf(tp, 0)
+		diff := tp.Sub(xv, tp.Const(c))
+		tp.Backward(tp.Sum(tp.Mul(diff, diff)))
+		opt.Step(p, 1)
+	}
+	for i := range c {
+		if math.Abs(x.Data[i]-c[i]) > 1e-2 {
+			t.Errorf("x[%d] = %g, want %g", i, x.Data[i], c[i])
+		}
+	}
+	if opt.StepCount() != 2000 {
+		t.Errorf("StepCount = %d, want 2000", opt.StepCount())
+	}
+}
+
+func TestMLPLearnsXor(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := NewParams()
+	m := NewMLP(p, "xor", []int{2, 8, 1}, rng)
+	if m.InSize() != 2 || m.OutSize() != 1 {
+		t.Fatalf("sizes = (%d,%d), want (2,1)", m.InSize(), m.OutSize())
+	}
+	inputs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	targets := []float64{0, 1, 1, 0}
+	opt := NewAdam(0.02)
+	for epoch := 0; epoch < 1500; epoch++ {
+		for i, in := range inputs {
+			tp := NewTape()
+			out := tp.Sigmoid(m.Forward(tp, tp.Const(in)))
+			diff := tp.Sub(out, tp.Scalar(targets[i]))
+			tp.Backward(tp.Mul(diff, diff))
+		}
+		opt.Step(p, float64(len(inputs)))
+	}
+	for i, in := range inputs {
+		tp := NewTape()
+		out := tp.Sigmoid(m.Forward(tp, tp.Const(in))).Value()[0]
+		if math.Abs(out-targets[i]) > 0.2 {
+			t.Errorf("xor(%v) = %g, want %g", in, out, targets[i])
+		}
+	}
+}
+
+func TestMLPTooFewSizesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for single-size MLP")
+		}
+	}()
+	NewMLP(NewParams(), "bad", []int{3}, rand.New(rand.NewSource(1)))
+}

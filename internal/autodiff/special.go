@@ -1,0 +1,79 @@
+package autodiff
+
+import "math"
+
+// Special functions needed by probability-distribution embeddings
+// (BetaE): log-gamma, digamma and softplus, with exact derivatives
+// (d lnΓ = ψ, d ψ = ψ').
+
+// Softplus applies ln(1+e^x) elementwise; derivative is the logistic
+// function.
+func (t *Tape) Softplus(a V) V {
+	return t.unary(a, softplus, sigmoid)
+}
+
+// Lgamma applies lnΓ(x) elementwise (x > 0); derivative is digamma.
+func (t *Tape) Lgamma(a V) V {
+	return t.unary(a, func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}, Digamma)
+}
+
+// DigammaOp applies the digamma function ψ(x) elementwise (x > 0);
+// derivative is trigamma.
+func (t *Tape) DigammaOp(a V) V {
+	return t.unary(a, Digamma, Trigamma)
+}
+
+// Digamma computes ψ(x) = d/dx lnΓ(x) for x > 0 via the ascending
+// recurrence ψ(x) = ψ(x+1) − 1/x and the asymptotic expansion for large
+// arguments. Accuracy ~1e-12 for x ≥ 1e-4.
+func Digamma(x float64) float64 {
+	if x <= 0 {
+		return math.NaN()
+	}
+	r := 0.0
+	for x < 6 {
+		r -= 1 / x
+		x++
+	}
+	// Asymptotic: ψ(x) ≈ ln x − 1/(2x) − Σ B_{2n}/(2n x^{2n})
+	f := 1 / (x * x)
+	return r + math.Log(x) - 0.5/x -
+		f*(1.0/12-f*(1.0/120-f*(1.0/252-f*(1.0/240-f/132))))
+}
+
+// Trigamma computes ψ'(x) for x > 0 via recurrence and asymptotics.
+func Trigamma(x float64) float64 {
+	if x <= 0 {
+		return math.NaN()
+	}
+	r := 0.0
+	for x < 6 {
+		r += 1 / (x * x)
+		x++
+	}
+	f := 1 / (x * x)
+	// ψ'(x) ≈ 1/x + 1/(2x²) + Σ B_{2n}/x^{2n+1}
+	return r + 1/x + f/2 + f/x*(1.0/6-f*(1.0/30-f*(1.0/42-f/30)))
+}
+
+// LogBeta computes ln B(a, b) = lnΓ(a) + lnΓ(b) − lnΓ(a+b) elementwise
+// on the tape.
+func (t *Tape) LogBeta(a, b V) V {
+	return t.Sub(t.Add(t.Lgamma(a), t.Lgamma(b)), t.Lgamma(t.Add(a, b)))
+}
+
+// BetaKL computes the elementwise KL divergence KL(Beta(a1,b1) ‖
+// Beta(a2,b2)):
+//
+//	ln B(a2,b2) − ln B(a1,b1) + (a1−a2)ψ(a1) + (b1−b2)ψ(b1)
+//	  + (a2−a1+b2−b1)ψ(a1+b1)
+func (t *Tape) BetaKL(a1, b1, a2, b2 V) V {
+	lb := t.Sub(t.LogBeta(a2, b2), t.LogBeta(a1, b1))
+	da := t.Mul(t.Sub(a1, a2), t.DigammaOp(a1))
+	db := t.Mul(t.Sub(b1, b2), t.DigammaOp(b1))
+	dsum := t.Mul(t.Add(t.Sub(a2, a1), t.Sub(b2, b1)), t.DigammaOp(t.Add(a1, b1)))
+	return t.Add(t.Add(lb, da), t.Add(db, dsum))
+}

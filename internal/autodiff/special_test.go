@@ -1,0 +1,104 @@
+package autodiff
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDigammaKnownValues(t *testing.T) {
+	const gamma = 0.5772156649015329 // Euler–Mascheroni
+	cases := []struct{ x, want float64 }{
+		{1, -gamma},
+		{2, 1 - gamma},
+		{0.5, -gamma - 2*math.Ln2},
+		{10, 2.2517525890667214},
+	}
+	for _, c := range cases {
+		if got := Digamma(c.x); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("Digamma(%g) = %.12f, want %.12f", c.x, got, c.want)
+		}
+	}
+	if !math.IsNaN(Digamma(-1)) {
+		t.Error("Digamma of non-positive argument should be NaN")
+	}
+}
+
+func TestTrigammaKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, math.Pi * math.Pi / 6},
+		{0.5, math.Pi * math.Pi / 2},
+		{2, math.Pi*math.Pi/6 - 1},
+	}
+	for _, c := range cases {
+		if got := Trigamma(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Trigamma(%g) = %.12f, want %.12f", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDigammaIsLgammaDerivative(t *testing.T) {
+	const h = 1e-6
+	for _, x := range []float64{0.3, 1.0, 2.7, 8.5} {
+		lp, _ := math.Lgamma(x + h)
+		lm, _ := math.Lgamma(x - h)
+		num := (lp - lm) / (2 * h)
+		if got := Digamma(x); math.Abs(got-num) > 1e-5 {
+			t.Errorf("Digamma(%g) = %g, numeric lnΓ' = %g", x, got, num)
+		}
+	}
+}
+
+func TestSpecialOpGradients(t *testing.T) {
+	x := []float64{0.4, 1.2, 3.5, 7.0}
+	checkGrad(t, "Softplus", func(tp *Tape, v V) V { return tp.Softplus(v) }, x, 1e-4)
+	checkGrad(t, "Lgamma", func(tp *Tape, v V) V { return tp.Lgamma(v) }, x, 1e-4)
+	checkGrad(t, "Digamma", func(tp *Tape, v V) V { return tp.DigammaOp(v) }, x, 1e-4)
+}
+
+func TestBetaKLProperties(t *testing.T) {
+	tp := NewTape()
+	a := tp.Const([]float64{2.0, 0.7, 5.0})
+	b := tp.Const([]float64{3.0, 1.2, 0.5})
+	// KL(p ‖ p) == 0
+	kl := tp.BetaKL(a, b, a, b)
+	for i, v := range kl.Value() {
+		if math.Abs(v) > 1e-10 {
+			t.Errorf("self-KL[%d] = %g, want 0", i, v)
+		}
+	}
+	// KL(p ‖ q) > 0 for p != q
+	a2 := tp.Const([]float64{2.5, 1.7, 4.0})
+	b2 := tp.Const([]float64{1.0, 2.2, 1.5})
+	kl2 := tp.BetaKL(a, b, a2, b2)
+	for i, v := range kl2.Value() {
+		if v <= 0 {
+			t.Errorf("KL[%d] = %g, want > 0", i, v)
+		}
+	}
+}
+
+func TestBetaKLUniformReference(t *testing.T) {
+	// KL(Beta(1,1) ‖ Beta(2,1)): p uniform, q(x) = 2x.
+	// = ∫0^1 ln(1/(2x)) dx = -ln 2 + 1.
+	tp := NewTape()
+	one := tp.Const([]float64{1})
+	two := tp.Const([]float64{2})
+	kl := tp.BetaKL(one, one, two, one).Value()[0]
+	want := 1 - math.Ln2
+	if math.Abs(kl-want) > 1e-10 {
+		t.Errorf("KL(B(1,1)‖B(2,1)) = %.12f, want %.12f", kl, want)
+	}
+}
+
+func TestBetaKLGradient(t *testing.T) {
+	// Gradient w.r.t. the first distribution's parameters.
+	a1 := []float64{1.5, 2.5}
+	checkGrad(t, "BetaKL/a1", func(tp *Tape, v V) V {
+		return tp.BetaKL(v, tp.Const([]float64{2, 1}),
+			tp.Const([]float64{3, 2}), tp.Const([]float64{1, 1.5}))
+	}, a1, 1e-4)
+	checkGrad(t, "BetaKL/a2", func(tp *Tape, v V) V {
+		return tp.BetaKL(tp.Const([]float64{2, 1}), tp.Const([]float64{1.5, 2.5}),
+			v, tp.Const([]float64{1, 1.5}))
+	}, a1, 1e-4)
+}

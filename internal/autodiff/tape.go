@@ -1,0 +1,124 @@
+// Package autodiff implements a small reverse-mode automatic
+// differentiation engine over float64 vectors.
+//
+// All neural operator models in this repository (HaLk and the baselines)
+// are compositions of elementwise vector functions, small dense linear
+// layers and reductions. A tape records the forward computation; Backward
+// replays it in reverse, accumulating gradients into parameter tensors.
+// The tape is built per training sample and discarded, so the engine has
+// no global state and is safe to use from multiple goroutines as long as
+// each goroutine owns its tape (parameter gradient accumulation is the
+// caller's concern; see Params.AddGrad).
+package autodiff
+
+import "fmt"
+
+// V is a handle to a vector value on a Tape.
+type V struct {
+	t  *Tape
+	id int
+}
+
+// Len returns the dimensionality of the vector.
+func (v V) Len() int { return len(v.t.nodes[v.id].value) }
+
+// Value returns the forward value. The returned slice is owned by the
+// tape and must not be modified.
+func (v V) Value() []float64 { return v.t.nodes[v.id].value }
+
+// Grad returns the gradient accumulated for this node by Backward.
+// It is only meaningful after Backward has run.
+func (v V) Grad() []float64 { return v.t.nodes[v.id].grad }
+
+type node struct {
+	value []float64
+	grad  []float64
+	back  func() // propagates node.grad into the inputs' grads; nil for leaves
+}
+
+// Tape records a forward computation for reverse-mode differentiation.
+// The zero value is ready to use.
+type Tape struct {
+	nodes []node
+	// scratch buffers reused across Reset cycles to reduce allocation
+	pool [][]float64
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset clears the tape for reuse, recycling value/grad buffers.
+func (t *Tape) Reset() {
+	for i := range t.nodes {
+		t.pool = append(t.pool, t.nodes[i].value, t.nodes[i].grad)
+		t.nodes[i] = node{}
+	}
+	t.nodes = t.nodes[:0]
+}
+
+func (t *Tape) alloc(n int) []float64 {
+	for i := len(t.pool) - 1; i >= 0; i-- {
+		if cap(t.pool[i]) >= n {
+			b := t.pool[i][:n]
+			t.pool[i] = t.pool[len(t.pool)-1]
+			t.pool = t.pool[:len(t.pool)-1]
+			for j := range b {
+				b[j] = 0
+			}
+			return b
+		}
+	}
+	return make([]float64, n)
+}
+
+// push appends a node and returns its handle.
+func (t *Tape) push(value []float64, back func()) V {
+	t.nodes = append(t.nodes, node{value: value, grad: t.alloc(len(value)), back: back})
+	return V{t, len(t.nodes) - 1}
+}
+
+// Const records a constant (no gradient flows back out of it). The input
+// slice is copied.
+func (t *Tape) Const(x []float64) V {
+	v := t.alloc(len(x))
+	copy(v, x)
+	return t.push(v, nil)
+}
+
+// Scalar records a constant one-element vector.
+func (t *Tape) Scalar(x float64) V { return t.Const([]float64{x}) }
+
+// Leaf records a differentiable input. sink, if non-nil, receives the
+// accumulated gradient when Backward reaches the leaf. The input slice is
+// copied.
+func (t *Tape) Leaf(x []float64, sink func(grad []float64)) V {
+	v := t.alloc(len(x))
+	copy(v, x)
+	var res V
+	res = t.push(v, func() {
+		if sink != nil {
+			sink(t.nodes[res.id].grad)
+		}
+	})
+	return res
+}
+
+// Backward seeds the gradient of root with 1 in every component and
+// propagates gradients to all ancestors. root is typically a scalar loss.
+func (t *Tape) Backward(root V) {
+	g := t.nodes[root.id].grad
+	for i := range g {
+		g[i] = 1
+	}
+	for i := root.id; i >= 0; i-- {
+		if t.nodes[i].back != nil {
+			t.nodes[i].back()
+		}
+	}
+}
+
+func (t *Tape) checkSameLen(a, b V, op string) {
+	if a.Len() != b.Len() {
+		panic(fmt.Sprintf("autodiff: %s: length mismatch %d vs %d", op, a.Len(), b.Len()))
+	}
+}

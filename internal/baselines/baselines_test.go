@@ -1,0 +1,206 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/autodiff"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/model"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+func testConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Dim = 8
+	cfg.Hidden = 16
+	return cfg
+}
+
+func testDataset(seed int64) *kg.Dataset { return kg.SynthFB237(seed) }
+
+func allModels(ds *kg.Dataset, seed int64) []model.Interface {
+	cfg := testConfig(seed)
+	return []model.Interface{
+		NewConE(ds.Train, cfg),
+		NewNewLook(ds.Train, cfg),
+		NewMLPMix(ds.Train, cfg),
+	}
+}
+
+func TestNamesAndSupports(t *testing.T) {
+	ds := testDataset(1)
+	ms := allModels(ds, 1)
+	wantNames := []string{"ConE", "NewLook", "MLPMix"}
+	for i, m := range ms {
+		if m.Name() != wantNames[i] {
+			t.Errorf("model %d name = %q, want %q", i, m.Name(), wantNames[i])
+		}
+	}
+	cone, newlook, mlp := ms[0], ms[1], ms[2]
+	// ConE and MLPMix: negation yes, difference no.
+	for _, m := range []model.Interface{cone, mlp} {
+		if !m.Supports("2in") || m.Supports("2d") || m.Supports("dp") {
+			t.Errorf("%s: wrong structure support", m.Name())
+		}
+	}
+	// NewLook: difference yes, negation no.
+	if !newlook.Supports("2d") || !newlook.Supports("dp") || newlook.Supports("2in") || newlook.Supports("pni") {
+		t.Error("NewLook: wrong structure support")
+	}
+	// Everyone supports plain EPFO.
+	for _, m := range ms {
+		for _, s := range []string{"1p", "2p", "3p", "2i", "3i", "ip", "pi", "2u", "up"} {
+			if !m.Supports(s) {
+				t.Errorf("%s should support %s", m.Name(), s)
+			}
+		}
+	}
+}
+
+func TestLossFiniteAndGradients(t *testing.T) {
+	ds := testDataset(2)
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range allModels(ds, 2) {
+		for _, structure := range query.TrainStructures {
+			if !m.Supports(structure) {
+				continue
+			}
+			w := query.Workload(structure, 1, ds.Train, ds.Train, rng)
+			if len(w) == 0 {
+				t.Fatalf("%s/%s: no queries", m.Name(), structure)
+			}
+			tape := autodiff.NewTape()
+			loss, ok := m.Loss(tape, &w[0], 4, rng)
+			if !ok {
+				t.Fatalf("%s/%s: loss not ok", m.Name(), structure)
+			}
+			lv := loss.Value()[0]
+			if math.IsNaN(lv) || math.IsInf(lv, 0) || lv < 0 {
+				t.Fatalf("%s/%s: loss = %g", m.Name(), structure, lv)
+			}
+			m.Params().ZeroGrad()
+			tape.Backward(loss)
+			ent := m.Params().Get("entity")
+			nonzero := false
+			for _, g := range ent.Grad {
+				if g != 0 {
+					nonzero = true
+					break
+				}
+			}
+			if !nonzero {
+				t.Fatalf("%s/%s: no gradient on entities", m.Name(), structure)
+			}
+		}
+	}
+}
+
+func TestDistancesShapeAndValidity(t *testing.T) {
+	ds := testDataset(4)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(5)))
+	for _, m := range allModels(ds, 4) {
+		for _, structure := range []string{"1p", "2i", "2u", "up"} {
+			q, ok := s.Sample(structure)
+			if !ok {
+				t.Fatalf("sampling %s failed", structure)
+			}
+			d := m.Distances(q)
+			if len(d) != ds.Train.NumEntities() {
+				t.Fatalf("%s: Distances len = %d", m.Name(), len(d))
+			}
+			for _, v := range d {
+				if math.IsNaN(v) || v < 0 {
+					t.Fatalf("%s/%s: bad distance %g", m.Name(), structure, v)
+				}
+			}
+		}
+	}
+}
+
+func TestUnsupportedOperatorsPanic(t *testing.T) {
+	ds := testDataset(6)
+	cfg := testConfig(6)
+	diff := query.NewDifference(
+		query.NewProjection(0, query.NewAnchor(0)),
+		query.NewProjection(1, query.NewAnchor(1)),
+	)
+	neg := query.NewIntersection(
+		query.NewProjection(0, query.NewAnchor(0)),
+		query.NewNegation(query.NewProjection(1, query.NewAnchor(1))),
+	)
+	cases := []struct {
+		m model.Interface
+		q *query.Node
+	}{
+		{NewConE(ds.Train, cfg), diff},
+		{NewMLPMix(ds.Train, cfg), diff},
+		{NewNewLook(ds.Train, cfg), neg},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.m.Name())
+				}
+			}()
+			c.m.Distances(c.q)
+		}()
+	}
+}
+
+func TestConELinearNegationComplement(t *testing.T) {
+	ds := testDataset(7)
+	c := NewConE(ds.Train, testConfig(7))
+	tape := autodiff.NewTape()
+	in := c.embed(tape, query.NewProjection(0, query.NewAnchor(1)))
+	out := c.embed(tape, query.NewNegation(query.NewProjection(0, query.NewAnchor(1))))
+	for j := range in.ap.Value() {
+		sum := in.ap.Value()[j] + out.ap.Value()[j]
+		if math.Abs(sum-2*math.Pi) > 1e-9 {
+			t.Fatalf("dim %d: apertures sum to %g, want 2π", j, sum)
+		}
+	}
+}
+
+func TestNewLookOffsetsNonNegative(t *testing.T) {
+	ds := testDataset(8)
+	nl := NewNewLook(ds.Train, testConfig(8))
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(9)))
+	for _, structure := range []string{"1p", "2p", "2i", "2d", "dp"} {
+		q, ok := s.Sample(structure)
+		if !ok {
+			t.Fatalf("sampling %s failed", structure)
+		}
+		tape := autodiff.NewTape()
+		for _, d := range query.DNF(q) {
+			b := nl.embed(tape, d)
+			for j, o := range b.offset.Value() {
+				if o < 0 {
+					t.Fatalf("%s: offset[%d] = %g < 0", structure, j, o)
+				}
+			}
+		}
+	}
+}
+
+func TestBaselineTrainingRuns(t *testing.T) {
+	ds := testDataset(10)
+	for _, m := range allModels(ds, 10) {
+		res, err := model.Train(m, ds.Train, model.TrainConfig{
+			QueriesPerStructure: 20,
+			Steps:               40,
+			BatchSize:           4,
+			NegSamples:          4,
+			LR:                  0.01,
+			Seed:                11,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if math.IsNaN(res.FinalLoss) || res.FinalLoss < 0 {
+			t.Fatalf("%s: final loss %g", m.Name(), res.FinalLoss)
+		}
+	}
+}

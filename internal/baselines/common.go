@@ -1,0 +1,82 @@
+// Package baselines reimplements the three state-of-the-art competitors
+// of the paper's evaluation (Sec. IV-A) from their published equations,
+// on the shared autodiff substrate and trainer interface:
+//
+//   - ConE (Zhang et al., NeurIPS 2021): cone embeddings on the rotation
+//     backbone; supports negation via the linear-transformation
+//     assumption; no difference operator; its distance uses raw wrapped
+//     angle offsets, exposing the periodicity "duality" HaLk's chord
+//     measurement avoids.
+//   - NewLook (Liu et al., KDD 2021): box embeddings; supports the
+//     difference operator (lossily — a box cannot represent the exact
+//     difference region) but has no negation and no universal set.
+//   - MLPMix (Amayuelas et al., ICLR 2022): non-geometric pure-MLP
+//     query embeddings; negation via linear transformation; no
+//     difference operator and no cardinality modelling.
+//
+// Each model keeps its defining limitation because those limitations are
+// exactly what the paper's comparisons measure.
+package baselines
+
+import (
+	"math/rand"
+
+	"github.com/halk-kg/halk/internal/autodiff"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/model"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+// Config holds the hyper-parameters shared by the baseline models.
+type Config struct {
+	// Dim is the embedding dimensionality.
+	Dim int
+	// Hidden is the operator MLP width.
+	Hidden int
+	// Gamma is the loss margin.
+	Gamma float64
+	// Eta down-weights inside distances for the geometric models.
+	Eta float64
+	// Seed drives parameter initialisation.
+	Seed int64
+}
+
+// DefaultConfig mirrors the scaled-down budget of halk.DefaultConfig so
+// comparisons are parameter-fair.
+func DefaultConfig(seed int64) Config {
+	return Config{Dim: 64, Hidden: 64, Gamma: 2, Eta: 0.02, Seed: seed}
+}
+
+// marginLoss assembles the shared negative-sampling objective
+// −log σ(γ−d⁺) − (1/m) Σ log σ(d⁻−γ) used by all models in this family.
+func marginLoss(t *autodiff.Tape, gamma float64, pos autodiff.V, negs []autodiff.V) autodiff.V {
+	loss := t.Neg(t.LogSigmoid(t.AddScalar(t.Neg(pos), gamma)))
+	for _, n := range negs {
+		nl := t.Neg(t.LogSigmoid(t.AddScalar(n, -gamma)))
+		loss = t.Add(loss, t.Scale(nl, 1/float64(len(negs))))
+	}
+	return loss
+}
+
+// samplePosNegs draws one positive and m negatives for a query instance.
+func samplePosNegs(q *query.Query, numEntities, m int, rng *rand.Rand) (kg.EntityID, []kg.EntityID, bool) {
+	pos, ok := model.SamplePositive(q.Answers, rng)
+	if !ok {
+		return 0, nil, false
+	}
+	negs := model.SampleNegatives(q.Answers, numEntities, m, rng)
+	if len(negs) == 0 {
+		return 0, nil, false
+	}
+	return pos, negs, true
+}
+
+// minScalar folds per-disjunct scalar scores with an elementwise min,
+// the DNF aggregation rule.
+func minScalar(t *autodiff.Tape, scores []autodiff.V) autodiff.V {
+	best := scores[0]
+	for _, s := range scores[1:] {
+		best = t.Min(best, s)
+	}
+	return best
+}

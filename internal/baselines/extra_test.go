@@ -1,0 +1,168 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/autodiff"
+	"github.com/halk-kg/halk/internal/model"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+// extraModels are the first/second-group reference baselines beyond the
+// paper's three headline competitors.
+func extraModels(seed int64) []model.Interface {
+	ds := testDataset(seed)
+	cfg := testConfig(seed)
+	return []model.Interface{
+		NewQuery2Box(ds.Train, cfg),
+		NewGQE(ds.Train, cfg),
+		NewBetaE(ds.Train, cfg),
+	}
+}
+
+func TestExtraModelSupports(t *testing.T) {
+	ms := extraModels(1)
+	q2b, gqe, betae := ms[0], ms[1], ms[2]
+	// Q2B and GQE: EPFO only.
+	for _, m := range []model.Interface{q2b, gqe} {
+		for _, s := range []string{"1p", "2p", "2i", "3i", "ip", "pi", "2u", "up"} {
+			if !m.Supports(s) {
+				t.Errorf("%s should support %s", m.Name(), s)
+			}
+		}
+		for _, s := range []string{"2in", "pni", "2d", "dp"} {
+			if m.Supports(s) {
+				t.Errorf("%s should not support %s", m.Name(), s)
+			}
+		}
+	}
+	// BetaE: negation yes, difference no.
+	if !betae.Supports("2in") || !betae.Supports("pni") || betae.Supports("2d") {
+		t.Error("BetaE structure support wrong")
+	}
+	names := []string{"Query2Box", "GQE", "BetaE"}
+	for i, m := range ms {
+		if m.Name() != names[i] {
+			t.Errorf("model %d name = %q, want %q", i, m.Name(), names[i])
+		}
+	}
+}
+
+func TestExtraModelLossAndGradients(t *testing.T) {
+	ds := testDataset(2)
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range extraModels(2) {
+		for _, structure := range []string{"1p", "2p", "2i", "2u", "2in"} {
+			if !m.Supports(structure) {
+				continue
+			}
+			w := query.Workload(structure, 1, ds.Train, ds.Train, rng)
+			if len(w) == 0 {
+				t.Fatalf("%s/%s: no queries", m.Name(), structure)
+			}
+			tape := autodiff.NewTape()
+			loss, ok := m.Loss(tape, &w[0], 4, rng)
+			if !ok {
+				t.Fatalf("%s/%s: loss not ok", m.Name(), structure)
+			}
+			lv := loss.Value()[0]
+			if math.IsNaN(lv) || math.IsInf(lv, 0) || lv < 0 {
+				t.Fatalf("%s/%s: loss = %g", m.Name(), structure, lv)
+			}
+			m.Params().ZeroGrad()
+			tape.Backward(loss)
+			ent := m.Params().Get("entity")
+			nonzero := false
+			for _, g := range ent.Grad {
+				if g != 0 {
+					nonzero = true
+					break
+				}
+			}
+			if !nonzero {
+				t.Fatalf("%s/%s: no entity gradient", m.Name(), structure)
+			}
+		}
+	}
+}
+
+func TestExtraModelDistances(t *testing.T) {
+	ds := testDataset(4)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(5)))
+	for _, m := range extraModels(4) {
+		for _, structure := range []string{"1p", "2i", "2u"} {
+			q, ok := s.Sample(structure)
+			if !ok {
+				t.Fatalf("sampling %s failed", structure)
+			}
+			d := m.Distances(q)
+			if len(d) != ds.Train.NumEntities() {
+				t.Fatalf("%s: %d distances", m.Name(), len(d))
+			}
+			for _, v := range d {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s/%s: bad distance %g", m.Name(), structure, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBetaENegationReciprocal(t *testing.T) {
+	ds := testDataset(6)
+	be := NewBetaE(ds.Train, testConfig(6))
+	tape := autodiff.NewTape()
+	in := be.embed(tape, query.NewProjection(0, query.NewAnchor(1)))
+	out := be.embed(tape, query.NewNegation(query.NewProjection(0, query.NewAnchor(1))))
+	for j := range in.alpha.Value() {
+		if math.Abs(out.alpha.Value()[j]*in.alpha.Value()[j]-1) > 1e-9 {
+			t.Fatalf("dim %d: negation is not the parameter reciprocal", j)
+		}
+		if math.Abs(out.beta.Value()[j]*in.beta.Value()[j]-1) > 1e-9 {
+			t.Fatalf("dim %d: beta reciprocal broken", j)
+		}
+	}
+}
+
+func TestBetaEParamsStrictlyPositive(t *testing.T) {
+	ds := testDataset(7)
+	be := NewBetaE(ds.Train, testConfig(7))
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(8)))
+	for _, structure := range []string{"1p", "2p", "2i", "2in", "pni"} {
+		q, ok := s.Sample(structure)
+		if !ok {
+			t.Fatalf("sampling %s failed", structure)
+		}
+		tape := autodiff.NewTape()
+		for _, d := range query.DNF(q) {
+			bd := be.embed(tape, d)
+			for j, a := range bd.alpha.Value() {
+				if a <= 0 || bd.beta.Value()[j] <= 0 {
+					t.Fatalf("%s: non-positive Beta parameter at dim %d", structure, j)
+				}
+			}
+		}
+	}
+}
+
+func TestExtraModelTrainingRuns(t *testing.T) {
+	ds := testDataset(9)
+	for _, m := range extraModels(9) {
+		res, err := model.Train(m, ds.Train, model.TrainConfig{
+			QueriesPerStructure: 15,
+			Steps:               30,
+			BatchSize:           4,
+			NegSamples:          4,
+			LR:                  0.01,
+			Seed:                10,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if math.IsNaN(res.FinalLoss) {
+			t.Fatalf("%s: NaN loss", m.Name())
+		}
+	}
+}

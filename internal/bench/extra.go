@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+// Observation quantifies the empirical observation of Sec. I that
+// motivates HaLk's holistic operator set: the difference operator is the
+// stronger primitive for multi-hop queries, while negation is only
+// competitive as the tail operation of single-hop queries. It compares
+// HaLk's accuracy on matched difference/negation structure pairs.
+func (s *Suite) Observation() *Table {
+	t := &Table{
+		ID:    "Observation",
+		Title: "Sec. I observation: difference vs negation by hop depth (HaLk MRR %)",
+		Header: []string{"Dataset", "Setting", "Diff structure", "MRR", "Neg structure", "MRR",
+			"Diff/Neg ratio"},
+	}
+	pairs := []struct {
+		setting string
+		diff    string
+		neg     string
+	}{
+		{"single-hop", "2d", "2in"},
+		{"single-hop (3-way)", "3d", "3in"},
+		{"multi-hop", "dp", "pin"},
+	}
+	for _, ds := range s.Datasets {
+		for _, p := range pairs {
+			md, okd := s.Eval(ds, "HaLk", p.diff)
+			mn, okn := s.Eval(ds, "HaLk", p.neg)
+			if !okd || !okn {
+				continue
+			}
+			ratio := "-"
+			if mn.MRR > 0 {
+				ratio = fmt.Sprintf("%.1fx", md.MRR/mn.MRR)
+			}
+			t.Rows = append(t.Rows, []string{
+				ds.Name, p.setting, p.diff, pct(md.MRR), p.neg, pct(mn.MRR), ratio,
+			})
+		}
+	}
+	return t
+}
+
+// Cardinality validates the arc embedding's cardinality semantics: the
+// learned arclength of a query embedding should grow with the true
+// answer-set size. It reports, per dataset, the Pearson correlation
+// between mean arclength and |answers| over the 1p evaluation workload.
+func (s *Suite) Cardinality() *Table {
+	t := &Table{
+		ID:     "Cardinality",
+		Title:  "Arclength vs answer-set size (HaLk, 1p workload)",
+		Header: []string{"Dataset", "Queries", "Pearson r", "Mean |ans|", "Mean arclen"},
+	}
+	for _, ds := range s.Datasets {
+		m, _ := s.Model(ds, "HaLk")
+		hk := m.(*halk.Model)
+		w := s.Workload(ds, "1p")
+		var lens, sizes []float64
+		for i := range w {
+			arcs := hk.EmbedQuery(w[i].Root)
+			mean := 0.0
+			for _, l := range arcs[0].L {
+				mean += l
+			}
+			mean /= float64(len(arcs[0].L))
+			lens = append(lens, mean)
+			sizes = append(sizes, float64(len(w[i].Answers)))
+		}
+		if len(lens) < 3 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			ds.Name, fmt.Sprintf("%d", len(lens)),
+			fmt.Sprintf("%.3f", pearson(lens, sizes)),
+			fmt.Sprintf("%.1f", mean(sizes)), fmt.Sprintf("%.3f", mean(lens)),
+		})
+	}
+	return t
+}
+
+// MethodsExtended adds the first/second-group reference baselines this
+// repository implements beyond the paper's competitor set.
+var MethodsExtended = []string{"GQE", "Query2Box", "BetaE", "ConE", "NewLook", "MLPMix", "HaLk"}
+
+// TableExtended compares all seven implemented methods on one dataset's
+// EPFO structures — the lineage view (first group -> second group ->
+// HaLk) the paper's related-work section describes.
+func (s *Suite) TableExtended(dataset string) *Table {
+	ds := s.Dataset(dataset)
+	t := &Table{
+		ID:     "Table Ext",
+		Title:  fmt.Sprintf("All implemented methods, MRR (%%) on %s", dataset),
+		Header: append(append([]string{"Method"}, query.EPFOStructures...), "Average"),
+	}
+	for _, method := range MethodsExtended {
+		row := []string{method}
+		sum, n := 0.0, 0
+		for _, structure := range query.EPFOStructures {
+			m, ok := s.Eval(ds, method, structure)
+			if !ok {
+				row = append(row, dash())
+				continue
+			}
+			row = append(row, pct(m.MRR))
+			sum += m.MRR
+			n++
+		}
+		if n > 0 {
+			row = append(row, pct(sum/float64(n)))
+		} else {
+			row = append(row, dash())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func pearson(xs, ys []float64) float64 {
+	mx, my := mean(xs), mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestExtraExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	s := quickSuite(t)
+
+	obs := s.Observation()
+	if len(obs.Rows) == 0 {
+		t.Fatal("Observation produced no rows")
+	}
+	for _, row := range obs.Rows {
+		if len(row) != 7 {
+			t.Fatalf("Observation row has %d cells", len(row))
+		}
+	}
+
+	card := s.Cardinality()
+	if len(card.Rows) != 3 {
+		t.Fatalf("Cardinality rows = %d, want 3", len(card.Rows))
+	}
+	for _, row := range card.Rows {
+		r, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad Pearson cell %q", row[2])
+		}
+		if r < -1 || r > 1 {
+			t.Fatalf("Pearson r out of range: %g", r)
+		}
+	}
+
+	ext := s.TableExtended("FB237")
+	if len(ext.Rows) != len(MethodsExtended) {
+		t.Fatalf("TableExtended rows = %d, want %d", len(ext.Rows), len(MethodsExtended))
+	}
+	// EPFO-only methods must dash the difference columns.
+	for _, row := range ext.Rows {
+		if row[0] == "GQE" || row[0] == "Query2Box" || row[0] == "BetaE" {
+			if row[10] != "-" { // 2d column (1 label + 9 structures before it)
+				t.Errorf("%s should dash difference columns: %v", row[0], row)
+			}
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if r := pearson(xs, []float64{2, 4, 6, 8}); r < 0.999 {
+		t.Errorf("perfect correlation r = %g", r)
+	}
+	if r := pearson(xs, []float64{8, 6, 4, 2}); r > -0.999 {
+		t.Errorf("perfect anticorrelation r = %g", r)
+	}
+	if r := pearson(xs, []float64{5, 5, 5, 5}); r != 0 {
+		t.Errorf("degenerate correlation r = %g", r)
+	}
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickSuite shares one tiny suite across the package's tests: training
+// even at smoke scale dominates test time.
+func quickSuite(t *testing.T) *Suite {
+	t.Helper()
+	cfg := QuickConfig(3)
+	cfg.Train.Steps = 60
+	cfg.EvalQueries = 4
+	return NewSuite(cfg)
+}
+
+func TestSuiteDatasets(t *testing.T) {
+	s := quickSuite(t)
+	if len(s.Datasets) != 3 {
+		t.Fatalf("datasets = %d", len(s.Datasets))
+	}
+	for _, name := range []string{"FB15k", "FB237", "NELL"} {
+		if s.Dataset(name) == nil {
+			t.Errorf("missing dataset %s", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown dataset should panic")
+		}
+	}()
+	s.Dataset("nope")
+}
+
+func TestModelCacheAndFactory(t *testing.T) {
+	s := quickSuite(t)
+	ds := s.Dataset("FB237")
+	for _, method := range []string{"HaLk", "ConE", "NewLook", "MLPMix", "HaLk-V2"} {
+		m, offline := s.Model(ds, method)
+		if m == nil || offline <= 0 {
+			t.Fatalf("%s: model %v, offline %v", method, m, offline)
+		}
+		m2, off2 := s.Model(ds, method)
+		if m2 != m || off2 != offline {
+			t.Errorf("%s: cache miss on second call", method)
+		}
+	}
+}
+
+func TestWorkloadCached(t *testing.T) {
+	s := quickSuite(t)
+	ds := s.Dataset("FB237")
+	w1 := s.Workload(ds, "1p")
+	w2 := s.Workload(ds, "1p")
+	if len(w1) == 0 {
+		t.Fatal("empty workload")
+	}
+	if &w1[0] != &w2[0] {
+		t.Error("workload not cached")
+	}
+}
+
+func TestEvalUnsupportedStructure(t *testing.T) {
+	s := quickSuite(t)
+	ds := s.Dataset("FB237")
+	if _, ok := s.Eval(ds, "NewLook", "2in"); ok {
+		t.Error("NewLook must not evaluate negation structures")
+	}
+	if _, ok := s.Eval(ds, "ConE", "2d"); ok {
+		t.Error("ConE must not evaluate difference structures")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:     "Table X",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	out := tb.String()
+	if !strings.Contains(out, "Table X: demo") || !strings.Contains(out, "333") {
+		t.Errorf("rendering = %q", out)
+	}
+	if tb.Cell(0, 1) != "2" || tb.Cell(5, 5) != "" {
+		t.Error("Cell accessor wrong")
+	}
+}
+
+func TestQuickTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	s := quickSuite(t)
+
+	t1 := s.Table1()
+	// 3 datasets × 4 methods rows; 12 structures + average + 2 label cols
+	if len(t1.Rows) != 12 {
+		t.Fatalf("Table I rows = %d", len(t1.Rows))
+	}
+	if len(t1.Header) != 15 {
+		t.Fatalf("Table I header = %d cols", len(t1.Header))
+	}
+	// ConE/MLPMix rows must have dashes in difference columns (2d 3d dp)
+	for _, row := range t1.Rows {
+		if row[1] == "ConE" || row[1] == "MLPMix" {
+			if row[11] != "-" || row[12] != "-" || row[13] != "-" {
+				t.Errorf("%s row should dash difference columns: %v", row[1], row)
+			}
+		}
+		if row[1] == "HaLk" || row[1] == "NewLook" {
+			if row[11] == "-" {
+				t.Errorf("%s row missing difference results: %v", row[1], row)
+			}
+		}
+	}
+
+	t3 := s.Table3()
+	if len(t3.Rows) != 9 { // 3 datasets × 3 methods
+		t.Fatalf("Table III rows = %d", len(t3.Rows))
+	}
+
+	t5 := s.Table5()
+	if len(t5.Rows) != 6 { // 3 blocks × 2 models
+		t.Fatalf("Table V rows = %d", len(t5.Rows))
+	}
+
+	t6 := s.Table6()
+	if len(t6.Rows) != 5 {
+		t.Fatalf("Table VI rows = %d", len(t6.Rows))
+	}
+
+	f6a := s.Fig6a()
+	if len(f6a.Rows) != 6 {
+		t.Fatalf("Fig 6a rows = %d", len(f6a.Rows))
+	}
+
+	f6b := s.Fig6b()
+	if len(f6b.Rows) != 4 {
+		t.Fatalf("Fig 6b rows = %d", len(f6b.Rows))
+	}
+
+	f6c := s.Fig6c()
+	if len(f6c.Rows) != 5 { // 4 embedding methods + GFinder
+		t.Fatalf("Fig 6c rows = %d", len(f6c.Rows))
+	}
+}

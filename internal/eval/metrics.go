@@ -1,0 +1,133 @@
+// Package eval implements the evaluation protocol of Sec. IV-A: filtered
+// Mean Reciprocal Rank and Hits@K over hard answers (answers only
+// derivable with the evaluation graph's held-out edges), per-structure
+// aggregation, and the set-retrieval accuracy used by the
+// subgraph-matching comparisons (Table VI, Fig. 6a).
+package eval
+
+import (
+	"time"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/model"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+// Metrics aggregates ranking quality over a query set.
+type Metrics struct {
+	MRR    float64
+	Hits1  float64
+	Hits3  float64
+	Hits10 float64
+	// N is the number of (query, hard answer) pairs scored.
+	N int
+	// AvgQueryTime is the mean wall-clock time to embed and rank one
+	// query (the online stage).
+	AvgQueryTime time.Duration
+}
+
+// FilteredRank returns the rank of entity e under the distance vector d,
+// filtering the other known answers: rank = 1 + |{o : d[o] < d[e], o not
+// an answer}|. Ties rank optimistically, matching the protocol in the
+// baselines' public code.
+func FilteredRank(d []float64, e kg.EntityID, answers query.Set) int {
+	rank := 1
+	de := d[e]
+	for o, do := range d {
+		if do < de && !answers.Has(kg.EntityID(o)) {
+			rank++
+		}
+	}
+	return rank
+}
+
+// Evaluate scores the model on the given queries, ranking every hard
+// answer with filtering against the full answer set.
+func Evaluate(m model.Interface, qs []query.Query) Metrics {
+	var mt Metrics
+	var elapsed time.Duration
+	for i := range qs {
+		q := &qs[i]
+		start := time.Now()
+		d := m.Distances(q.Root)
+		elapsed += time.Since(start)
+		for e := range q.HardAnswers {
+			r := FilteredRank(d, e, q.Answers)
+			mt.N++
+			mt.MRR += 1 / float64(r)
+			if r <= 1 {
+				mt.Hits1++
+			}
+			if r <= 3 {
+				mt.Hits3++
+			}
+			if r <= 10 {
+				mt.Hits10++
+			}
+		}
+	}
+	if mt.N > 0 {
+		n := float64(mt.N)
+		mt.MRR /= n
+		mt.Hits1 /= n
+		mt.Hits3 /= n
+		mt.Hits10 /= n
+	}
+	if len(qs) > 0 {
+		mt.AvgQueryTime = elapsed / time.Duration(len(qs))
+	}
+	return mt
+}
+
+// PrecisionAtTruth measures a ranking model as a set retriever: the
+// fraction of true answers among the model's |answers| best-ranked
+// entities. Used for the HaLk columns of Table VI and Fig. 6a.
+func PrecisionAtTruth(d []float64, answers query.Set) float64 {
+	if len(answers) == 0 {
+		return 0
+	}
+	k := len(answers)
+	top := lowestK(d, k)
+	hit := 0
+	for _, e := range top {
+		if answers.Has(e) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}
+
+// SetAccuracy measures an exact set answer against the ground truth with
+// the Jaccard index |found ∩ truth| / |found ∪ truth|. Used for the
+// GFinder columns of Table VI and Fig. 6a.
+func SetAccuracy(found, truth query.Set) float64 {
+	if len(found) == 0 && len(truth) == 0 {
+		return 1
+	}
+	inter := len(found.Intersect(truth))
+	union := len(found) + len(truth) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func lowestK(d []float64, k int) []kg.EntityID {
+	if k > len(d) {
+		k = len(d)
+	}
+	idx := make([]kg.EntityID, len(d))
+	for i := range idx {
+		idx[i] = kg.EntityID(i)
+	}
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(idx); j++ {
+			if d[idx[j]] < d[idx[min]] {
+				min = j
+			}
+		}
+		idx[i], idx[min] = idx[min], idx[i]
+	}
+	return idx[:k]
+}

@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/autodiff"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+func TestFilteredRank(t *testing.T) {
+	d := []float64{0.1, 0.5, 0.3, 0.9, 0.2}
+	// entity 1 (d=0.5): better are 0, 2, 4. With no filtering, rank 4.
+	if r := FilteredRank(d, 1, query.NewSet()); r != 4 {
+		t.Errorf("rank = %d, want 4", r)
+	}
+	// filtering out answers 0 and 4 leaves only entity 2 better: rank 2.
+	if r := FilteredRank(d, 1, query.NewSet(0, 4)); r != 2 {
+		t.Errorf("filtered rank = %d, want 2", r)
+	}
+	// best entity ranks 1
+	if r := FilteredRank(d, 0, query.NewSet()); r != 1 {
+		t.Errorf("best rank = %d, want 1", r)
+	}
+}
+
+// rankOracle is a fake model that ranks entities by a fixed preference.
+type rankOracle struct {
+	d []float64
+}
+
+func (r *rankOracle) Name() string                    { return "oracle" }
+func (r *rankOracle) Params() *autodiff.Params        { return autodiff.NewParams() }
+func (r *rankOracle) Supports(string) bool            { return true }
+func (r *rankOracle) Distances(*query.Node) []float64 { return r.d }
+func (r *rankOracle) Loss(*autodiff.Tape, *query.Query, int, *rand.Rand) (autodiff.V, bool) {
+	return autodiff.V{}, false
+}
+
+func TestEvaluatePerfectModel(t *testing.T) {
+	// 5 entities; answer {2} ranked first by the model.
+	d := []float64{5, 4, 0, 3, 2}
+	qs := []query.Query{{
+		Structure:   "1p",
+		Root:        query.NewProjection(0, query.NewAnchor(0)),
+		Answers:     query.NewSet(2),
+		HardAnswers: query.NewSet(2),
+	}}
+	mt := Evaluate(&rankOracle{d: d}, qs)
+	if mt.MRR != 1 || mt.Hits1 != 1 || mt.Hits3 != 1 || mt.Hits10 != 1 || mt.N != 1 {
+		t.Errorf("metrics = %+v, want all 1", mt)
+	}
+}
+
+func TestEvaluateWorstModel(t *testing.T) {
+	d := []float64{0, 1, 9, 2, 3}
+	qs := []query.Query{{
+		Structure:   "1p",
+		Root:        query.NewProjection(0, query.NewAnchor(0)),
+		Answers:     query.NewSet(2),
+		HardAnswers: query.NewSet(2),
+	}}
+	mt := Evaluate(&rankOracle{d: d}, qs)
+	if math.Abs(mt.MRR-0.2) > 1e-12 {
+		t.Errorf("MRR = %g, want 0.2", mt.MRR)
+	}
+	if mt.Hits3 != 0 || mt.Hits10 != 1 {
+		t.Errorf("hits = %+v", mt)
+	}
+}
+
+func TestEvaluateFiltersOtherAnswers(t *testing.T) {
+	// Answers {0, 2}; hard answer only {2}. Entity 0 ranks better but is
+	// filtered, so 2 gets rank 1.
+	d := []float64{0, 5, 1, 4, 3}
+	qs := []query.Query{{
+		Structure:   "1p",
+		Root:        query.NewProjection(0, query.NewAnchor(0)),
+		Answers:     query.NewSet(0, 2),
+		HardAnswers: query.NewSet(2),
+	}}
+	mt := Evaluate(&rankOracle{d: d}, qs)
+	if mt.MRR != 1 {
+		t.Errorf("MRR = %g, want 1 (filtering broken)", mt.MRR)
+	}
+}
+
+func TestPrecisionAtTruth(t *testing.T) {
+	d := []float64{0.0, 0.1, 0.2, 0.9, 0.8}
+	// truth {0, 1}: top-2 = {0, 1} -> precision 1
+	if p := PrecisionAtTruth(d, query.NewSet(0, 1)); p != 1 {
+		t.Errorf("precision = %g, want 1", p)
+	}
+	// truth {0, 3}: top-2 = {0, 1} -> precision 0.5
+	if p := PrecisionAtTruth(d, query.NewSet(0, 3)); p != 0.5 {
+		t.Errorf("precision = %g, want 0.5", p)
+	}
+	if p := PrecisionAtTruth(d, query.NewSet()); p != 0 {
+		t.Errorf("precision of empty truth = %g, want 0", p)
+	}
+}
+
+func TestSetAccuracy(t *testing.T) {
+	cases := []struct {
+		found, truth []kg.EntityID
+		want         float64
+	}{
+		{[]kg.EntityID{1, 2}, []kg.EntityID{1, 2}, 1},
+		{[]kg.EntityID{1}, []kg.EntityID{1, 2}, 0.5},
+		{[]kg.EntityID{1, 2, 3}, []kg.EntityID{1}, 1.0 / 3},
+		{nil, []kg.EntityID{1}, 0},
+		{nil, nil, 1},
+	}
+	for i, c := range cases {
+		if got := SetAccuracy(query.NewSet(c.found...), query.NewSet(c.truth...)); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: accuracy = %g, want %g", i, got, c.want)
+		}
+	}
+}
+
+func TestEvaluateEmptyWorkload(t *testing.T) {
+	mt := Evaluate(&rankOracle{d: []float64{1}}, nil)
+	if mt.N != 0 || mt.MRR != 0 || mt.AvgQueryTime != 0 {
+		t.Errorf("empty workload metrics = %+v", mt)
+	}
+}
+
+func TestEvaluateAveragesOverHardAnswers(t *testing.T) {
+	// Answers {1, 3}; the non-answer entity 0 outranks both, other
+	// answers are filtered: each hard answer gets filtered rank 2.
+	d := []float64{0, 1, 5, 2, 9}
+	qs := []query.Query{{
+		Structure:   "1p",
+		Root:        query.NewProjection(0, query.NewAnchor(0)),
+		Answers:     query.NewSet(1, 3),
+		HardAnswers: query.NewSet(1, 3),
+	}}
+	mt := Evaluate(&rankOracle{d: d}, qs)
+	if mt.N != 2 || math.Abs(mt.MRR-0.5) > 1e-12 {
+		t.Errorf("metrics = %+v, want MRR 0.5 over 2", mt)
+	}
+}

@@ -1,0 +1,89 @@
+// Package geometry provides the closed-form arc mathematics underlying
+// HaLk's arc embedding: angle wrapping, chord lengths, arc membership and
+// the entity-to-arc distance of Eqs. 15–16. These value-level functions
+// are shared by the model (for ranking all entities without a tape), the
+// answer index and the tests; the differentiable counterparts live in the
+// model's forward pass.
+package geometry
+
+import "math"
+
+// TwoPi is 2π.
+const TwoPi = 2 * math.Pi
+
+// Wrap normalises an angle to [0, 2π).
+func Wrap(theta float64) float64 {
+	theta = math.Mod(theta, TwoPi)
+	if theta < 0 {
+		theta += TwoPi
+	}
+	return theta
+}
+
+// AngDiff returns the signed smallest difference a-b wrapped to (-π, π].
+func AngDiff(a, b float64) float64 {
+	d := math.Mod(a-b, TwoPi)
+	if d > math.Pi {
+		d -= TwoPi
+	} else if d <= -math.Pi {
+		d += TwoPi
+	}
+	return d
+}
+
+// Chord returns the chord length between two points at angles a and b on
+// a circle of radius rho: 2ρ|sin((a−b)/2)|. The chord is periodicity-safe:
+// it depends only on the true angular separation.
+func Chord(rho, a, b float64) float64 {
+	return 2 * rho * math.Abs(math.Sin((a-b)/2))
+}
+
+// HalfArcChord returns the chord subtended by half the arc of length l on
+// a circle of radius rho: 2ρ|sin(l/(4ρ))|, the saturation bound of the
+// inside distance in Eq. 16.
+func HalfArcChord(rho, l float64) float64 {
+	return 2 * rho * math.Abs(math.Sin(l/(4*rho)))
+}
+
+// InArc reports whether the point at angle theta lies on the arc with
+// the given center angle and arclength l (radius rho), using the chord
+// membership test of the distance function.
+func InArc(rho, theta, center, l float64) bool {
+	return Chord(rho, theta, center) <= HalfArcChord(rho, l)+1e-12
+}
+
+// PointArcDistance computes the entity-to-arc distance of Eqs. 15–16 for
+// one dimension: d_o + eta*d_i where d_o is the chord to the nearest arc
+// endpoint and d_i is the chord to the center saturated at the half-arc
+// chord. Note that, exactly as in Eq. 16, d_o does not vanish for points
+// on the arc: answers are pulled toward the nearest endpoint, which is
+// what keeps arclengths tight around the answer set instead of inflating
+// to the full circle (the cardinality semantics of the arc embedding).
+func PointArcDistance(rho, eta, theta, center, l float64) float64 {
+	start := center - l/(2*rho)
+	end := center + l/(2*rho)
+	do_ := math.Min(Chord(rho, theta, start), Chord(rho, theta, end))
+	di := math.Min(Chord(rho, theta, center), HalfArcChord(rho, l))
+	return do_ + eta*di
+}
+
+// Distance sums PointArcDistance over all dimensions for an entity angle
+// vector and an arc (centers, lengths).
+func Distance(rho, eta float64, point, centers, lengths []float64) float64 {
+	d := 0.0
+	for j := range point {
+		d += PointArcDistance(rho, eta, point[j], centers[j], lengths[j])
+	}
+	return d
+}
+
+// Reg implements Eq. 6: it converts rectangular coordinates back to a
+// polar angle in a single period. math.Atan2 already resolves the
+// quadrant, so Reg reduces to wrapping into [0, 2π); x == 0 is nudged to
+// avoid the undefined division of arctan(y/x) noted in the paper.
+func Reg(x, y float64) float64 {
+	if x == 0 {
+		x = 1e-3
+	}
+	return Wrap(math.Atan2(y, x))
+}

@@ -1,0 +1,160 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWrapRange(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		w := Wrap(x)
+		return w >= 0 && w < TwoPi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Wrap(-math.Pi/2) != 3*math.Pi/2 {
+		t.Errorf("Wrap(-π/2) = %g", Wrap(-math.Pi/2))
+	}
+}
+
+func TestAngDiffProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a, b = math.Mod(a, 1e6), math.Mod(b, 1e6)
+		d := AngDiff(a, b)
+		if d <= -math.Pi || d > math.Pi {
+			return false
+		}
+		// a-b and d must agree modulo 2π
+		return math.Abs(math.Mod(a-b-d, TwoPi)) < 1e-6 ||
+			math.Abs(math.Abs(math.Mod(a-b-d, TwoPi))-TwoPi) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChordPeriodicityAndSymmetry(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a, b = math.Mod(a, 100), math.Mod(b, 100)
+		c1 := Chord(1, a, b)
+		// symmetric
+		if math.Abs(c1-Chord(1, b, a)) > 1e-9 {
+			return false
+		}
+		// periodic in either argument
+		if math.Abs(c1-Chord(1, a+TwoPi, b)) > 1e-6 {
+			return false
+		}
+		// bounded by diameter
+		return c1 <= 2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// antipodal points are a diameter apart
+	if math.Abs(Chord(2, 0, math.Pi)-4) > 1e-12 {
+		t.Error("antipodal chord should equal diameter")
+	}
+}
+
+func TestInArcMembership(t *testing.T) {
+	rho := 1.0
+	center := 1.0
+	l := 1.0 // arc angle 1 radian, half-angle 0.5
+	if !InArc(rho, center, center, l) {
+		t.Error("center must be in arc")
+	}
+	if !InArc(rho, center+0.49, center, l) {
+		t.Error("point inside half-angle must be in arc")
+	}
+	if InArc(rho, center+0.6, center, l) {
+		t.Error("point outside half-angle must not be in arc")
+	}
+	// membership must survive wrapping
+	if !InArc(rho, center+0.49+TwoPi, center, l) {
+		t.Error("membership must be periodic")
+	}
+}
+
+func TestPointArcDistanceEndpointsAreOptima(t *testing.T) {
+	rho, eta := 1.0, 0.0
+	center, l := 1.0, 1.0
+	// Eq. 16: with eta = 0 the distance vanishes exactly at the arc
+	// endpoints (d_o is the chord to the nearest endpoint, with no
+	// inside special-case).
+	for _, endpoint := range []float64{center - l/(2*rho), center + l/(2*rho)} {
+		if d := PointArcDistance(rho, eta, endpoint, center, l); math.Abs(d) > 1e-12 {
+			t.Errorf("distance at endpoint = %g, want 0", d)
+		}
+	}
+	// The center of the arc is NOT a zero of d_o (only of d_i's argument).
+	if PointArcDistance(rho, eta, center, center, l) <= 0 {
+		t.Error("center should have positive endpoint distance for a non-degenerate arc")
+	}
+	// outside point has positive distance
+	if PointArcDistance(rho, eta, 2.5, center, l) <= 0 {
+		t.Error("outside point should have positive distance")
+	}
+}
+
+func TestPointArcDistanceMonotoneOutside(t *testing.T) {
+	rho, eta := 1.0, 0.02
+	center, l := 0.0, 0.5
+	prev := -1.0
+	for _, off := range []float64{0.3, 0.6, 1.0, 1.5, 2.0, 3.0} {
+		d := PointArcDistance(rho, eta, center+off, center, l)
+		if d < prev {
+			t.Errorf("distance not monotone: offset %g gave %g < %g", off, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestDistanceSumsDimensions(t *testing.T) {
+	p := []float64{0.1, 2.0}
+	c := []float64{0.0, 0.0}
+	l := []float64{1.0, 0.2}
+	want := PointArcDistance(1, 0.5, p[0], c[0], l[0]) + PointArcDistance(1, 0.5, p[1], c[1], l[1])
+	if got := Distance(1, 0.5, p, c, l); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Distance = %g, want %g", got, want)
+	}
+}
+
+func TestRegQuadrants(t *testing.T) {
+	cases := []struct{ x, y, want float64 }{
+		{1, 0, 0},
+		{0.5, 0.5, math.Pi / 4},
+		{-0.5, 0.5, 3 * math.Pi / 4},
+		{-0.5, -0.5, 5 * math.Pi / 4},
+		{0.5, -0.5, 7 * math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := Reg(c.x, c.y); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Reg(%g, %g) = %g, want %g", c.x, c.y, got, c.want)
+		}
+	}
+	// x == 0 must not blow up
+	g := Reg(0, 1)
+	if math.IsNaN(g) || g < 0 || g >= TwoPi {
+		t.Errorf("Reg(0, 1) = %g", g)
+	}
+}
+
+func TestHalfArcChordFullCircle(t *testing.T) {
+	// An arc of length 2πρ covers the circle; half-arc chord = diameter.
+	rho := 3.0
+	if math.Abs(HalfArcChord(rho, TwoPi*rho)-2*rho) > 1e-9 {
+		t.Errorf("HalfArcChord(full) = %g, want %g", HalfArcChord(rho, TwoPi*rho), 2*rho)
+	}
+}

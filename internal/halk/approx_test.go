@@ -1,0 +1,68 @@
+package halk
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/ann"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+func TestTopKApproxOverlapsExact(t *testing.T) {
+	m, ds := testModel(t, 71)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(72)))
+	ai := m.NewAnswerIndex(ann.DefaultConfig(73))
+	for _, structure := range []string{"1p", "2i", "2u"} {
+		q, ok := s.Sample(structure)
+		if !ok {
+			t.Fatalf("sampling %s failed", structure)
+		}
+		exact := m.TopK(q, 10)
+		approx := ai.TopKApprox(q, 10)
+		if len(approx) == 0 {
+			t.Fatalf("%s: empty approximate answer set", structure)
+		}
+		// The approximate ranking must be internally consistent: scored
+		// ascending by the same distance function.
+		d := m.Distances(q)
+		for i := 1; i < len(approx); i++ {
+			if d[approx[i-1]] > d[approx[i]]+1e-12 {
+				t.Fatalf("%s: approximate ranking out of order", structure)
+			}
+		}
+		// And it should recover a decent share of the exact top-10
+		// (LSH is allowed to miss some).
+		exactSet := make(map[kg.EntityID]bool, len(exact))
+		for _, e := range exact {
+			exactSet[e] = true
+		}
+		hit := 0
+		for _, e := range approx {
+			if exactSet[e] {
+				hit++
+			}
+		}
+		if hit < 3 {
+			t.Errorf("%s: only %d/10 of exact top-10 recovered", structure, hit)
+		}
+	}
+}
+
+func TestAnswerIndexPoolSmallerThanUniverse(t *testing.T) {
+	m, ds := testModel(t, 74)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(75)))
+	q, ok := s.Sample("1p")
+	if !ok {
+		t.Fatal("sampling failed")
+	}
+	// A fine-grained index must prune a meaningful share of entities.
+	ai := m.NewAnswerIndex(ann.Config{Bands: 4, BucketsPerBand: 16, Seed: 76})
+	pool := ai.PoolSize(q)
+	if pool <= 0 {
+		t.Fatal("empty candidate pool")
+	}
+	if pool >= ds.Train.NumEntities() {
+		t.Errorf("pool %d does not prune the universe of %d", pool, ds.Train.NumEntities())
+	}
+}

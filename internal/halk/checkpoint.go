@@ -1,0 +1,48 @@
+package halk
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+// CheckpointHeader describes a saved model so it can be rebuilt against
+// the same (regenerated) dataset.
+type CheckpointHeader struct {
+	Dataset string // dataset name, e.g. "FB237"
+	Seed    int64  // dataset generation seed
+	Config  Config
+}
+
+// SaveCheckpoint writes the header and all parameters to w as a single
+// gob stream.
+func (m *Model) SaveCheckpoint(w io.Writer, dataset string, dataSeed int64) error {
+	enc := gob.NewEncoder(w)
+	hdr := CheckpointHeader{Dataset: dataset, Seed: dataSeed, Config: m.cfg}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("halk: save checkpoint header: %w", err)
+	}
+	return m.params.Encode(enc)
+}
+
+// LoadCheckpoint reads a checkpoint header, rebuilds the model over g
+// (which must be the same training graph the checkpoint was created on)
+// and restores its parameters.
+func LoadCheckpoint(r io.Reader, lookup func(hdr CheckpointHeader) (*kg.Graph, error)) (*Model, CheckpointHeader, error) {
+	dec := gob.NewDecoder(r)
+	var hdr CheckpointHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, hdr, fmt.Errorf("halk: load checkpoint header: %w", err)
+	}
+	g, err := lookup(hdr)
+	if err != nil {
+		return nil, hdr, err
+	}
+	m := New(g, hdr.Config)
+	if err := m.params.Decode(dec); err != nil {
+		return nil, hdr, err
+	}
+	return m, hdr, nil
+}

@@ -1,0 +1,135 @@
+package halk
+
+import (
+	"math"
+	"sync"
+
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+// trigCache memoises cos/sin of every entity angle so that online
+// ranking (Distances over all entities) avoids per-query trigonometry:
+// chord lengths reduce to dot products of cached unit vectors,
+// |sin((p−s)/2)| = sqrt((1 − cos(p−s))/2) with
+// cos(p−s) = cos p·cos s + sin p·sin s.
+//
+// The cache is invalidated by fingerprinting the entity table, so it
+// stays correct when ranking interleaves with training.
+type trigCache struct {
+	mu   sync.Mutex
+	hash uint64
+	cos  []float64
+	sin  []float64
+}
+
+// tables returns up-to-date cos/sin tables for the entity data.
+func (tc *trigCache) tables(data []float64) (cosT, sinT []float64) {
+	h := fnv64(data)
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.hash != h || len(tc.cos) != len(data) {
+		if len(tc.cos) != len(data) {
+			tc.cos = make([]float64, len(data))
+			tc.sin = make([]float64, len(data))
+		}
+		for i, a := range data {
+			tc.cos[i] = math.Cos(a)
+			tc.sin[i] = math.Sin(a)
+		}
+		tc.hash = h
+	}
+	return tc.cos, tc.sin
+}
+
+func fnv64(data []float64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, f := range data {
+		b := math.Float64bits(f)
+		for s := 0; s < 64; s += 16 {
+			h ^= (b >> s) & 0xffff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// preArc is a query arc prepared for fast scoring.
+type preArc struct {
+	cosS, sinS []float64
+	cosE, sinE []float64
+	cosC, sinC []float64
+	sh         []float64 // |sin(L/(4ρ))| — half-arc bound of d_i
+	hot        []float64
+}
+
+func (m *Model) prepareArc(a ValueArc) preArc {
+	d := m.cfg.Dim
+	p := preArc{
+		cosS: make([]float64, d), sinS: make([]float64, d),
+		cosE: make([]float64, d), sinE: make([]float64, d),
+		cosC: make([]float64, d), sinC: make([]float64, d),
+		sh:  make([]float64, d),
+		hot: a.Hot,
+	}
+	for j := 0; j < d; j++ {
+		s := a.C[j] - a.L[j]/(2*m.cfg.Rho)
+		e := a.C[j] + a.L[j]/(2*m.cfg.Rho)
+		p.cosS[j], p.sinS[j] = math.Cos(s), math.Sin(s)
+		p.cosE[j], p.sinE[j] = math.Cos(e), math.Sin(e)
+		p.cosC[j], p.sinC[j] = math.Cos(a.C[j]), math.Sin(a.C[j])
+		p.sh[j] = math.Abs(math.Sin(a.L[j] / (4 * m.cfg.Rho)))
+	}
+	return p
+}
+
+// halfSin returns |sin(Δ/2)| from cos Δ, clamped against rounding.
+func halfSin(cosD float64) float64 {
+	x := (1 - cosD) / 2
+	if x < 0 {
+		x = 0
+	}
+	return math.Sqrt(x)
+}
+
+// fastDistances scores every entity against the prepared arcs using the
+// trig cache; identical (to rounding) to geometry.Distance + group
+// penalty, minimised over disjuncts.
+func (m *Model) fastDistances(arcs []preArc) []float64 {
+	d := m.cfg.Dim
+	cosT, sinT := m.trig.tables(m.ent.Data)
+	twoRho := 2 * m.cfg.Rho
+	out := make([]float64, m.graph.NumEntities())
+	pens := make([][]float64, len(arcs))
+	for ai := range arcs {
+		pens[ai] = make([]float64, len(out))
+		for e := range out {
+			pens[ai][e] = m.groupPenalty(kg.EntityID(e), arcs[ai].hot)
+		}
+	}
+	for e := range out {
+		base := e * d
+		best := math.Inf(1)
+		for ai := range arcs {
+			pa := &arcs[ai]
+			sum := 0.0
+			for j := 0; j < d; j++ {
+				cp, sp := cosT[base+j], sinT[base+j]
+				cs := cp*pa.cosS[j] + sp*pa.sinS[j]
+				ce := cp*pa.cosE[j] + sp*pa.sinE[j]
+				cc := cp*pa.cosC[j] + sp*pa.sinC[j]
+				do := halfSin(math.Max(cs, ce)) // min sin == max cos
+				di := math.Min(halfSin(cc), pa.sh[j])
+				sum += twoRho * (do + m.cfg.Eta*di)
+			}
+			if s := sum + pens[ai][e]; s < best {
+				best = s
+			}
+		}
+		out[e] = best
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package halk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+func TestFastDistancesMatchesReference(t *testing.T) {
+	m, ds := testModel(t, 41)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(42)))
+	for _, structure := range []string{"1p", "2i", "2u", "dp", "2in"} {
+		q, ok := s.Sample(structure)
+		if !ok {
+			t.Fatalf("sampling %s failed", structure)
+		}
+		fast := m.Distances(q)
+		arcs := m.EmbedQuery(q)
+		for e := 0; e < ds.Train.NumEntities(); e += 7 {
+			slow := m.distanceTo(kg.EntityID(e), arcs)
+			if math.Abs(fast[e]-slow) > 1e-9 {
+				t.Fatalf("%s: entity %d: fast %.12f != slow %.12f", structure, e, fast[e], slow)
+			}
+		}
+	}
+}
+
+func TestTrigCacheInvalidation(t *testing.T) {
+	m, ds := testModel(t, 43)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(44)))
+	q, ok := s.Sample("1p")
+	if !ok {
+		t.Fatal("sampling failed")
+	}
+	before := m.Distances(q)
+	// Mutate an entity embedding (as a training step would) and check the
+	// fast path notices.
+	m.ent.Data[0] += 1.0
+	after := m.Distances(q)
+	same := true
+	for e := range before {
+		if before[e] != after[e] {
+			same = false
+			break
+		}
+	}
+	// entity 0's distance must change (its point moved)
+	if before[0] == after[0] && same {
+		t.Error("trig cache served stale tables after entity update")
+	}
+	// restore and confirm we get the original values back
+	m.ent.Data[0] -= 1.0
+	restored := m.Distances(q)
+	for e := range before {
+		if math.Abs(before[e]-restored[e]) > 1e-12 {
+			t.Fatal("distances not restored after reverting entity data")
+		}
+	}
+}
+
+func TestFnv64Distinguishes(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3.0000001}
+	if fnv64(a) == fnv64(b) {
+		t.Error("fingerprint collision on nearby vectors")
+	}
+	if fnv64(a) != fnv64([]float64{1, 2, 3}) {
+		t.Error("fingerprint not deterministic")
+	}
+}
+
+func TestFastDistancesSpeed(t *testing.T) {
+	m, ds := testModel(t, 45)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(46)))
+	q, _ := s.Sample("2p")
+	m.Distances(q) // warm the cache
+	start := time.Now()
+	const reps = 20
+	for i := 0; i < reps; i++ {
+		m.Distances(q)
+	}
+	per := time.Since(start) / reps
+	// Generous bound: the point is to catch accidental fallback to the
+	// trig-heavy path (which is ~10x slower).
+	if per > 5*time.Millisecond {
+		t.Errorf("Distances took %v per query; fast path regressed?", per)
+	}
+	t.Logf("online ranking: %v per query (%d entities, d=%d)", per, ds.Train.NumEntities(), m.cfg.Dim)
+}

@@ -1,0 +1,83 @@
+package kg
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dataset bundles the three graphs of the standard logical-query
+// evaluation protocol. Train ⊆ Valid ⊆ Test: the validation graph adds
+// the validation edges on top of the training edges, and the test graph
+// adds the test edges on top of that, exactly the G_training ⊆
+// G_validation ⊆ G_test configuration of HaLk Sec. IV-A.
+type Dataset struct {
+	Name  string
+	Train *Graph
+	Valid *Graph
+	Test  *Graph
+}
+
+// Validate checks the subset invariants and shared dictionaries.
+func (d *Dataset) Validate() error {
+	if d.Train.Entities != d.Valid.Entities || d.Valid.Entities != d.Test.Entities {
+		return fmt.Errorf("kg: dataset %s: graphs do not share the entity dictionary", d.Name)
+	}
+	if d.Train.Relations != d.Valid.Relations || d.Valid.Relations != d.Test.Relations {
+		return fmt.Errorf("kg: dataset %s: graphs do not share the relation dictionary", d.Name)
+	}
+	if !d.Valid.ContainsAll(d.Train) {
+		return fmt.Errorf("kg: dataset %s: train ⊄ valid", d.Name)
+	}
+	if !d.Test.ContainsAll(d.Valid) {
+		return fmt.Errorf("kg: dataset %s: valid ⊄ test", d.Name)
+	}
+	return nil
+}
+
+// Split partitions a full graph's triples into a Dataset using the given
+// fractions of edges held out for validation and test. The held-out
+// edges are chosen uniformly at random with rng, but an edge is only
+// eligible for holdout if removing it leaves its head with at least one
+// outgoing fact, which keeps the training graph connected enough to
+// sample queries from.
+func Split(name string, full *Graph, validFrac, testFrac float64, rng *rand.Rand) *Dataset {
+	if validFrac < 0 || testFrac < 0 || validFrac+testFrac >= 1 {
+		panic("kg: Split: fractions must be non-negative and sum to < 1")
+	}
+	triples := append([]Triple(nil), full.Triples()...)
+	rng.Shuffle(len(triples), func(i, j int) { triples[i], triples[j] = triples[j], triples[i] })
+
+	nValid := int(validFrac * float64(len(triples)))
+	nTest := int(testFrac * float64(len(triples)))
+
+	train := NewGraph(full.Entities, full.Relations)
+	var validOnly, testOnly []Triple
+	// Pass 1: tentatively assign; protect heads from losing all out-edges.
+	outCount := make(map[[2]int32]int) // (head, rel) -> remaining train count
+	for _, t := range triples {
+		outCount[[2]int32{int32(t.H), int32(t.R)}]++
+	}
+	for _, t := range triples {
+		key := [2]int32{int32(t.H), int32(t.R)}
+		holdable := outCount[key] > 1
+		switch {
+		case len(testOnly) < nTest && holdable:
+			testOnly = append(testOnly, t)
+			outCount[key]--
+		case len(validOnly) < nValid && holdable:
+			validOnly = append(validOnly, t)
+			outCount[key]--
+		default:
+			train.AddTriple(t)
+		}
+	}
+	valid := train.Clone()
+	for _, t := range validOnly {
+		valid.AddTriple(t)
+	}
+	test := valid.Clone()
+	for _, t := range testOnly {
+		test.AddTriple(t)
+	}
+	return &Dataset{Name: name, Train: train, Valid: valid, Test: test}
+}

@@ -1,0 +1,44 @@
+package kg
+
+import "fmt"
+
+// Dict is a bidirectional name <-> dense integer id mapping for entities
+// or relations.
+type Dict struct {
+	names []string
+	ids   map[string]int32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict { return &Dict{ids: make(map[string]int32)} }
+
+// Len returns the number of registered names.
+func (d *Dict) Len() int { return len(d.names) }
+
+// Add registers name if new and returns its id either way.
+func (d *Dict) Add(name string) int32 {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := int32(len(d.names))
+	d.names = append(d.names, name)
+	d.ids[name] = id
+	return id
+}
+
+// ID returns the id of name, and whether it is registered.
+func (d *Dict) ID(name string) (int32, bool) {
+	id, ok := d.ids[name]
+	return id, ok
+}
+
+// Name returns the name of id. It panics on out-of-range ids.
+func (d *Dict) Name(id int32) string {
+	if id < 0 || int(id) >= len(d.names) {
+		panic(fmt.Sprintf("kg: Dict.Name: id %d out of range (len %d)", id, len(d.names)))
+	}
+	return d.names[id]
+}
+
+// Names returns all names in id order. The slice is owned by the Dict.
+func (d *Dict) Names() []string { return d.names }

@@ -1,0 +1,97 @@
+package kg
+
+import (
+	"math/rand"
+)
+
+// Grouping implements the coarse-grained random node grouping of HaLk
+// Sec. II-A: nodes are randomly divided into groups of "video
+// memory-friendly" size, each node carries a one-hot group vector h_v,
+// and a relation-based 3-D adjacency matrix M[r][i][k] records whether
+// any node of group i connects to any node of group k via relation r.
+//
+// HaLk uses the group vectors as an auxiliary signal in the intersection
+// operator (Eq. 10) and the loss (Eq. 17).
+type Grouping struct {
+	NumGroups int
+	groupOf   []int
+	// adj[r][i*NumGroups+k] == true iff some (h in group i, r, t in group k) exists.
+	adj [][]bool
+}
+
+// NewGrouping randomly assigns the graph's entities to numGroups groups
+// and builds the 3-D group adjacency from the graph's triples.
+func NewGrouping(g *Graph, numGroups int, rng *rand.Rand) *Grouping {
+	if numGroups <= 0 {
+		panic("kg: NewGrouping: numGroups must be positive")
+	}
+	gr := &Grouping{
+		NumGroups: numGroups,
+		groupOf:   make([]int, g.NumEntities()),
+		adj:       make([][]bool, g.NumRelations()),
+	}
+	for i := range gr.groupOf {
+		gr.groupOf[i] = rng.Intn(numGroups)
+	}
+	for r := range gr.adj {
+		gr.adj[r] = make([]bool, numGroups*numGroups)
+	}
+	for _, t := range g.Triples() {
+		i, k := gr.groupOf[t.H], gr.groupOf[t.T]
+		gr.adj[t.R][i*numGroups+k] = true
+	}
+	return gr
+}
+
+// GroupOf returns the group index of entity e.
+func (gr *Grouping) GroupOf(e EntityID) int { return gr.groupOf[e] }
+
+// OneHot returns the one-hot group vector h_v of entity e.
+func (gr *Grouping) OneHot(e EntityID) []float64 {
+	v := make([]float64, gr.NumGroups)
+	v[gr.groupOf[e]] = 1
+	return v
+}
+
+// Connected reports whether any node of group i connects to any node of
+// group k via relation r (the 3-D adjacency entry M_r^{ik}).
+func (gr *Grouping) Connected(r RelationID, i, k int) bool {
+	return gr.adj[r][i*gr.NumGroups+k]
+}
+
+// ProjectHot propagates a group indicator vector through relation r using
+// the 3-D group adjacency: out[k] = max_i hot[i]*M_r^{ik}. The result is
+// the multi-hot group vector of all groups reachable from the input
+// groups in one r-hop; HaLk uses it to derive h_{U_t} for intermediate
+// query nodes.
+func (gr *Grouping) ProjectHot(hot []float64, r RelationID) []float64 {
+	out := make([]float64, gr.NumGroups)
+	for i, h := range hot {
+		if h <= 0 {
+			continue
+		}
+		row := gr.adj[r][i*gr.NumGroups : (i+1)*gr.NumGroups]
+		for k, c := range row {
+			if c && out[k] < h {
+				out[k] = h
+			}
+		}
+	}
+	return out
+}
+
+// IntersectHot returns the elementwise product of group vectors, the
+// h_{U_t} = h_{U_1} ⊙ ... ⊙ h_{U_k} combination used by the intersection
+// operator.
+func IntersectHot(hots ...[]float64) []float64 {
+	if len(hots) == 0 {
+		return nil
+	}
+	out := append([]float64(nil), hots[0]...)
+	for _, h := range hots[1:] {
+		for i := range out {
+			out[i] *= h[i]
+		}
+	}
+	return out
+}

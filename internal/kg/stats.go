@@ -1,0 +1,80 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarises a graph's structural signature — the quantities the
+// synthetic generators are calibrated against (DESIGN.md §1).
+type Stats struct {
+	Entities  int
+	Relations int
+	Triples   int
+	// AvgDegree is mean total degree (in + out) per entity.
+	AvgDegree float64
+	// MaxFanout is the largest per-(head, relation) out-degree; large
+	// values mark the one-to-many relations that stress negation.
+	MaxFanout int
+	// OneToManyRelations counts relations whose mean fan-out exceeds 2.
+	OneToManyRelations int
+	// DegreeP50/P90/P99 are percentiles of the total-degree distribution
+	// (hub skew).
+	DegreeP50, DegreeP90, DegreeP99 int
+}
+
+// ComputeStats scans the graph once.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Entities:  g.NumEntities(),
+		Relations: g.NumRelations(),
+		Triples:   g.NumTriples(),
+	}
+	degrees := make([]int, g.NumEntities())
+	totalDeg := 0
+	for e := range degrees {
+		d := g.Degree(EntityID(e))
+		degrees[e] = d
+		totalDeg += d
+	}
+	if len(degrees) > 0 {
+		s.AvgDegree = float64(totalDeg) / float64(len(degrees))
+		sort.Ints(degrees)
+		s.DegreeP50 = degrees[len(degrees)*50/100]
+		s.DegreeP90 = degrees[len(degrees)*90/100]
+		s.DegreeP99 = degrees[len(degrees)*99/100]
+	}
+	for r := 0; r < g.NumRelations(); r++ {
+		rel := RelationID(r)
+		heads := g.HeadsOf(rel)
+		if len(heads) == 0 {
+			continue
+		}
+		sum := 0
+		for _, h := range heads {
+			f := g.OutDegree(h, rel)
+			sum += f
+			if f > s.MaxFanout {
+				s.MaxFanout = f
+			}
+		}
+		if float64(sum)/float64(len(heads)) > 2 {
+			s.OneToManyRelations++
+		}
+	}
+	return s
+}
+
+// String renders the statistics as a small report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "entities:             %d\n", s.Entities)
+	fmt.Fprintf(&b, "relations:            %d\n", s.Relations)
+	fmt.Fprintf(&b, "triples:              %d\n", s.Triples)
+	fmt.Fprintf(&b, "avg degree:           %.2f\n", s.AvgDegree)
+	fmt.Fprintf(&b, "degree p50/p90/p99:   %d / %d / %d\n", s.DegreeP50, s.DegreeP90, s.DegreeP99)
+	fmt.Fprintf(&b, "max fan-out:          %d\n", s.MaxFanout)
+	fmt.Fprintf(&b, "one-to-many relations: %d", s.OneToManyRelations)
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package kg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsTinyGraph(t *testing.T) {
+	g := tinyGraph() // a->b, a->c (knows), b->c (likes), d->c (knows)
+	s := ComputeStats(g)
+	if s.Entities != 4 || s.Relations != 2 || s.Triples != 4 {
+		t.Fatalf("counts = %+v", s)
+	}
+	// total degree = 2 per triple = 8 over 4 entities
+	if s.AvgDegree != 2 {
+		t.Errorf("AvgDegree = %g, want 2", s.AvgDegree)
+	}
+	if s.MaxFanout != 2 { // a --knows--> {b, c}
+		t.Errorf("MaxFanout = %d, want 2", s.MaxFanout)
+	}
+	if s.DegreeP50 < 1 || s.DegreeP99 < s.DegreeP50 {
+		t.Errorf("degree percentiles wrong: %+v", s)
+	}
+	out := s.String()
+	for _, want := range []string{"entities:", "max fan-out:", "one-to-many"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComputeStatsSignatures(t *testing.T) {
+	// The FB15k stand-in must be denser than the FB237 stand-in (the
+	// structural signature the generators exist to reproduce).
+	fb15k := ComputeStats(SynthFB15k(5).Test)
+	fb237 := ComputeStats(SynthFB237(5).Test)
+	if fb15k.AvgDegree <= fb237.AvgDegree {
+		t.Errorf("FB15k avg degree %.2f should exceed FB237's %.2f",
+			fb15k.AvgDegree, fb237.AvgDegree)
+	}
+	if fb15k.OneToManyRelations == 0 {
+		t.Error("FB15k stand-in should contain one-to-many relations")
+	}
+	// Hub skew: p99 well above p50.
+	if fb15k.DegreeP99 <= fb15k.DegreeP50 {
+		t.Error("no hub skew in degree distribution")
+	}
+}

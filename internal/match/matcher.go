@@ -1,0 +1,139 @@
+// Package match implements a GFinder-style approximate attributed
+// subgraph-matching query executor (Liu et al., IEEE BigData 2019), the
+// paper's representative of the subgraph-matching family (Sec. IV-D–IV-G).
+//
+// A conjunctive query tree is compiled to a pattern graph (anchors fixed,
+// variables free, edges labelled with relations). Matching runs in three
+// phases, index-free as in GFinder:
+//
+//  1. candidate generation — every variable vertex scans the entity
+//     universe (or the pruning-restricted subset) with a relation-profile
+//     filter;
+//  2. candidate refinement — arc-consistency propagation over pattern
+//     edges until fixpoint;
+//  3. best-effort enumeration — backtracking over the refined candidate
+//     sets collects bindings of the output vertex, bounded by a step
+//     budget (GFinder is "fast best-effort": exceeding the budget yields
+//     an approximate answer set).
+//
+// Difference and negation are evaluated with set semantics over matched
+// sub-patterns; union is handled through the DNF rewrite. Because
+// matching sees only the observed (training) graph, answers requiring
+// held-out edges are structurally unreachable — the brittleness to
+// incompleteness that motivates embedding methods.
+package match
+
+import (
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+// Options controls one execution.
+type Options struct {
+	// Restrict, when non-nil, limits every variable vertex's candidates
+	// to this entity set (plus the anchors). This is the hook HaLk's
+	// top-k candidates plug into (Sec. IV-D).
+	Restrict query.Set
+	// MaxSteps bounds the backtracking enumeration; 0 means the default
+	// budget. When the budget is exhausted the answers found so far are
+	// returned.
+	MaxSteps int
+}
+
+// DefaultMaxSteps is the default enumeration budget.
+const DefaultMaxSteps = 2_000_000
+
+// Result is the outcome of one execution.
+type Result struct {
+	Answers query.Set
+	// FilterOps counts candidate-generation profile checks.
+	FilterOps int
+	// IndexOps counts dynamic-index (NoC) construction operations.
+	IndexOps int
+	// RefineOps counts arc-consistency support checks.
+	RefineOps int
+	// SearchSteps counts backtracking steps.
+	SearchSteps int
+	// Truncated reports whether the search budget was exhausted.
+	Truncated bool
+}
+
+// Matcher executes logical queries on a graph by subgraph matching.
+type Matcher struct {
+	g *kg.Graph
+}
+
+// New returns a matcher over g (typically the observed/training graph).
+func New(g *kg.Graph) *Matcher { return &Matcher{g: g} }
+
+// Execute answers the query, DNF-rewriting unions first.
+func (m *Matcher) Execute(root *query.Node, opt Options) Result {
+	if opt.MaxSteps == 0 {
+		opt.MaxSteps = DefaultMaxSteps
+	}
+	res := Result{Answers: make(query.Set)}
+	for _, d := range query.DNF(root) {
+		part := m.eval(d, opt, &res)
+		res.Answers = res.Answers.Union(part)
+	}
+	return res
+}
+
+// eval evaluates a conjunctive (union-free) tree. Pure-positive subtrees
+// (anchor/projection/intersection only) run through the pattern matcher;
+// difference and negation combine matched sub-results with set algebra.
+func (m *Matcher) eval(n *query.Node, opt Options, res *Result) query.Set {
+	if purePositive(n) {
+		p := compile(n)
+		return m.matchPattern(p, opt, res)
+	}
+	switch n.Op {
+	case query.OpProjection:
+		child := m.eval(n.Args[0], opt, res)
+		out := make(query.Set)
+		for e := range child {
+			for _, t := range m.g.Successors(e, n.Rel) {
+				res.SearchSteps++
+				out[t] = struct{}{}
+			}
+		}
+		return m.restrictSet(out, opt)
+	case query.OpIntersection:
+		out := m.eval(n.Args[0], opt, res)
+		for _, a := range n.Args[1:] {
+			out = out.Intersect(m.eval(a, opt, res))
+		}
+		return out
+	case query.OpDifference:
+		out := m.eval(n.Args[0], opt, res)
+		for _, a := range n.Args[1:] {
+			out = out.Minus(m.eval(a, opt, res))
+		}
+		return out
+	case query.OpNegation:
+		return m.eval(n.Args[0], opt, res).Complement(m.g.NumEntities())
+	case query.OpAnchor:
+		return query.NewSet(n.Anchor)
+	}
+	panic("match: eval: unexpected op")
+}
+
+func (m *Matcher) restrictSet(s query.Set, opt Options) query.Set {
+	if opt.Restrict == nil {
+		return s
+	}
+	return s.Intersect(opt.Restrict)
+}
+
+func purePositive(n *query.Node) bool {
+	switch n.Op {
+	case query.OpDifference, query.OpNegation, query.OpUnion:
+		return false
+	}
+	for _, a := range n.Args {
+		if !purePositive(a) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,361 @@
+package match
+
+import (
+	"sort"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+// pattern is a compiled conjunctive query: a small labelled graph whose
+// fixed vertices are anchors and whose free vertices are the variables a
+// matcher must bind.
+type pattern struct {
+	numV  int
+	fixed map[int]kg.EntityID // vertex -> anchor entity
+	edges []pedge
+	out   int // output (target) vertex
+}
+
+type pedge struct {
+	from int
+	rel  kg.RelationID
+	to   int
+}
+
+// compile turns a pure-positive conjunctive tree into a pattern graph.
+// Intersection children share their parent's output vertex, which is the
+// graph-join semantics of the operator.
+func compile(n *query.Node) *pattern {
+	p := &pattern{fixed: make(map[int]kg.EntityID)}
+	p.out = p.build(n, -1)
+	// Identical branches of an intersection produce duplicate pattern
+	// edges; matching must not demand duplicate graph edges for them.
+	seen := make(map[pedge]bool, len(p.edges))
+	dedup := p.edges[:0]
+	for _, e := range p.edges {
+		if !seen[e] {
+			seen[e] = true
+			dedup = append(dedup, e)
+		}
+	}
+	p.edges = dedup
+	return p
+}
+
+func (p *pattern) newVertex() int {
+	v := p.numV
+	p.numV++
+	return v
+}
+
+// build compiles node n; if forced >= 0 the node's output must bind to
+// that existing vertex.
+func (p *pattern) build(n *query.Node, forced int) int {
+	switch n.Op {
+	case query.OpAnchor:
+		v := forced
+		if v < 0 {
+			v = p.newVertex()
+		}
+		p.fixed[v] = n.Anchor
+		return v
+	case query.OpProjection:
+		child := p.build(n.Args[0], -1)
+		v := forced
+		if v < 0 {
+			v = p.newVertex()
+		}
+		p.edges = append(p.edges, pedge{from: child, rel: n.Rel, to: v})
+		return v
+	case query.OpIntersection:
+		v := forced
+		if v < 0 {
+			v = p.newVertex()
+		}
+		for _, a := range n.Args {
+			p.build(a, v)
+		}
+		return v
+	}
+	panic("match: compile: pattern supports only anchor/projection/intersection")
+}
+
+// matchPattern runs the GFinder phases and returns the set of entities
+// bindable to the output vertex.
+func (m *Matcher) matchPattern(p *pattern, opt Options, res *Result) query.Set {
+	cands := m.generateCandidates(p, opt, res)
+	for i := range cands {
+		if len(cands[i].set) == 0 {
+			return make(query.Set)
+		}
+	}
+	idx := m.buildIndex(p, cands, res)
+	m.refine(p, cands, idx, res)
+	if len(cands[p.out].set) == 0 {
+		return make(query.Set)
+	}
+	return m.enumerate(p, cands, opt, res)
+}
+
+// edgeIndex is the per-query dynamic index GFinder builds (a
+// neighborhood-of-candidates structure): for each pattern edge, the
+// joined candidate adjacency head -> tails and tail -> heads. Sec. IV-E
+// notes that since this index is built per query, its construction time
+// is part of the online query time — it dominates the matcher's cost on
+// small candidate graphs, exactly as in the original system.
+type edgeIndex struct {
+	fwd []map[kg.EntityID][]kg.EntityID // per edge: candidate head -> candidate tails
+	bwd []map[kg.EntityID][]kg.EntityID // per edge: candidate tail -> candidate heads
+}
+
+func (m *Matcher) buildIndex(p *pattern, cands []candSet, res *Result) *edgeIndex {
+	idx := &edgeIndex{
+		fwd: make([]map[kg.EntityID][]kg.EntityID, len(p.edges)),
+		bwd: make([]map[kg.EntityID][]kg.EntityID, len(p.edges)),
+	}
+	for i, pe := range p.edges {
+		fwd := make(map[kg.EntityID][]kg.EntityID)
+		bwd := make(map[kg.EntityID][]kg.EntityID)
+		for b := range cands[pe.from].set {
+			for _, t := range m.g.Successors(b, pe.rel) {
+				res.IndexOps++
+				if !cands[pe.to].set.Has(t) {
+					continue
+				}
+				fwd[b] = append(fwd[b], t)
+				bwd[t] = append(bwd[t], b)
+			}
+		}
+		idx.fwd[i], idx.bwd[i] = fwd, bwd
+	}
+	return idx
+}
+
+// generateCandidates performs phase 1: per-vertex candidate sets from
+// anchors, the optional pruning restriction, and GFinder's approximate
+// node-profile matching. For every candidate the full degree-profile
+// similarity against the query vertex's neighbourhood profile is
+// computed across all relations (the per-candidate scoring that makes
+// GFinder an *approximate* matcher rather than a boolean filter); the
+// scores order the backtracking search best-candidates-first. This
+// per-query, per-candidate, per-relation scan is the matcher's dominant
+// online cost — and the cost the HaLk pruning restriction cuts.
+func (m *Matcher) generateCandidates(p *pattern, opt Options, res *Result) []candSet {
+	numRel := m.g.NumRelations()
+	cands := make([]candSet, p.numV)
+	for v := 0; v < p.numV; v++ {
+		if e, ok := p.fixed[v]; ok {
+			cands[v] = newCandSet([]scored{{e, 0}})
+			continue
+		}
+		// The query vertex's neighbourhood profile: required in/out
+		// relations. Requirements are binary, not counted: logical
+		// queries match under homomorphism semantics, where two pattern
+		// edges with the same relation may bind one graph edge (their
+		// other endpoints may map to the same entity).
+		needIn := make([]int, numRel)
+		needOut := make([]int, numRel)
+		for _, pe := range p.edges {
+			if pe.to == v {
+				needIn[pe.rel] = 1
+			}
+			if pe.from == v {
+				needOut[pe.rel] = 1
+			}
+		}
+		var accepted []scored
+		scan := func(e kg.EntityID) {
+			score, feasible := 0, true
+			for r := 0; r < numRel; r++ {
+				res.FilterOps++
+				rel := kg.RelationID(r)
+				in := len(m.g.Predecessors(e, rel))
+				out := len(m.g.Successors(e, rel))
+				if in < needIn[r] || out < needOut[r] {
+					feasible = false
+				}
+				// Degree-profile similarity: overlap with the required
+				// profile plus a small credit for general connectivity,
+				// mirroring GFinder's attribute/degree scoring.
+				score += min(in, needIn[r])*4 + min(out, needOut[r])*4 + min(in+out, 2)
+			}
+			if feasible {
+				accepted = append(accepted, scored{e, score})
+			}
+		}
+		if opt.Restrict != nil {
+			for e := range opt.Restrict {
+				scan(e)
+			}
+		} else {
+			for e := 0; e < m.g.NumEntities(); e++ {
+				scan(kg.EntityID(e))
+			}
+		}
+		cands[v] = newCandSet(accepted)
+	}
+	return cands
+}
+
+type scored struct {
+	e     kg.EntityID
+	score int
+}
+
+// candSet is an ordered candidate set: membership for the consistency
+// checks, order (best profile score first) for the search.
+type candSet struct {
+	set   query.Set
+	order []kg.EntityID
+}
+
+func newCandSet(sc []scored) candSet {
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].score != sc[j].score {
+			return sc[i].score > sc[j].score
+		}
+		return sc[i].e < sc[j].e
+	})
+	cs := candSet{set: make(query.Set, len(sc)), order: make([]kg.EntityID, len(sc))}
+	for i, s := range sc {
+		cs.set[s.e] = struct{}{}
+		cs.order[i] = s.e
+	}
+	return cs
+}
+
+func (cs *candSet) remove(e kg.EntityID) {
+	delete(cs.set, e)
+	for i, o := range cs.order {
+		if o == e {
+			cs.order = append(cs.order[:i], cs.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// refine performs arc-consistency over pattern edges until fixpoint,
+// using the dynamic index. A candidate a of vertex v is kept only if
+// every pattern edge incident to v has a supporting candidate at the
+// other end.
+func (m *Matcher) refine(p *pattern, cands []candSet, idx *edgeIndex, res *Result) {
+	supported := func(side map[kg.EntityID][]kg.EntityID, e kg.EntityID, other query.Set) bool {
+		for _, s := range side[e] {
+			res.RefineOps++
+			if other.Has(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, pe := range p.edges {
+			for a := range cands[pe.to].set {
+				if !supported(idx.bwd[i], a, cands[pe.from].set) {
+					cands[pe.to].remove(a)
+					changed = true
+				}
+			}
+			for b := range cands[pe.from].set {
+				if !supported(idx.fwd[i], b, cands[pe.to].set) {
+					cands[pe.from].remove(b)
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// enumerate performs phase 3: backtracking over vertices in a static
+// order, collecting the distinct bindings of the output vertex, bounded
+// by the step budget.
+func (m *Matcher) enumerate(p *pattern, cands []candSet, opt Options, res *Result) query.Set {
+	order := p.searchOrder()
+	answers := make(query.Set)
+	assign := make([]kg.EntityID, p.numV)
+	assigned := make([]bool, p.numV)
+
+	var dfs func(pos int) bool // returns false when the budget is gone
+	dfs = func(pos int) bool {
+		if res.SearchSteps >= opt.MaxSteps {
+			res.Truncated = true
+			return false
+		}
+		if pos == len(order) {
+			answers[assign[p.out]] = struct{}{}
+			return true
+		}
+		v := order[pos]
+		// Best-profile-score first: GFinder's greedy candidate order.
+		for _, a := range cands[v].order {
+			res.SearchSteps++
+			if !m.consistent(p, assign, assigned, v, a) {
+				continue
+			}
+			assign[v], assigned[v] = a, true
+			if !dfs(pos + 1) {
+				assigned[v] = false
+				return false
+			}
+			assigned[v] = false
+		}
+		return true
+	}
+	dfs(0)
+	return answers
+}
+
+// searchOrder orders vertices anchors-first, then by breadth from the
+// anchors along pattern edges, so early assignments constrain later ones.
+func (p *pattern) searchOrder() []int {
+	order := make([]int, 0, p.numV)
+	seen := make([]bool, p.numV)
+	for v := range p.fixed {
+		order = append(order, v)
+		seen[v] = true
+	}
+	for len(order) < p.numV {
+		progressed := false
+		for _, pe := range p.edges {
+			if seen[pe.from] && !seen[pe.to] {
+				order = append(order, pe.to)
+				seen[pe.to] = true
+				progressed = true
+			}
+			if seen[pe.to] && !seen[pe.from] {
+				order = append(order, pe.from)
+				seen[pe.from] = true
+				progressed = true
+			}
+		}
+		if !progressed {
+			for v := 0; v < p.numV; v++ {
+				if !seen[v] {
+					order = append(order, v)
+					seen[v] = true
+				}
+			}
+		}
+	}
+	return order
+}
+
+// consistent checks the pattern edges between v and already-assigned
+// vertices.
+func (m *Matcher) consistent(p *pattern, assign []kg.EntityID, assigned []bool, v int, a kg.EntityID) bool {
+	for _, pe := range p.edges {
+		if pe.from == v && assigned[pe.to] {
+			if !m.g.HasTriple(a, pe.rel, assign[pe.to]) {
+				return false
+			}
+		}
+		if pe.to == v && assigned[pe.from] {
+			if !m.g.HasTriple(assign[pe.from], pe.rel, a) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,212 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/autodiff"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+// toy is a minimal Interface implementation: a free vector per entity,
+// query embedding = anchor vector (ignores operators). Enough to drive
+// the trainer.
+type toy struct {
+	params *autodiff.Params
+	ent    *autodiff.Tensor
+	n      int
+}
+
+func newToy(g *kg.Graph, seed int64) *toy {
+	p := autodiff.NewParams()
+	rng := rand.New(rand.NewSource(seed))
+	return &toy{
+		params: p,
+		ent:    p.NewUniform("entity", g.NumEntities(), 4, -1, 1, rng),
+		n:      g.NumEntities(),
+	}
+}
+
+func (m *toy) Name() string                   { return "toy" }
+func (m *toy) Params() *autodiff.Params       { return m.params }
+func (m *toy) Supports(structure string) bool { return structure == "1p" || structure == "2p" }
+
+func (m *toy) embed(t *autodiff.Tape, n *query.Node) autodiff.V {
+	for n.Op != query.OpAnchor {
+		n = n.Args[0]
+	}
+	return m.ent.Leaf(t, int(n.Anchor))
+}
+
+func (m *toy) Loss(t *autodiff.Tape, q *query.Query, negSamples int, rng *rand.Rand) (autodiff.V, bool) {
+	pos, ok := SamplePositive(q.Answers, rng)
+	if !ok {
+		return autodiff.V{}, false
+	}
+	negs := SampleNegatives(q.Answers, m.n, negSamples, rng)
+	if len(negs) == 0 {
+		return autodiff.V{}, false
+	}
+	emb := m.embed(t, q.Root)
+	d := func(e kg.EntityID) autodiff.V { return t.L1(t.Sub(emb, m.ent.Leaf(t, int(e)))) }
+	loss := t.Neg(t.LogSigmoid(t.AddScalar(t.Neg(d(pos)), 2)))
+	for _, ne := range negs {
+		loss = t.Add(loss, t.Scale(t.Neg(t.LogSigmoid(t.AddScalar(d(ne), -2))), 1/float64(len(negs))))
+	}
+	return loss, true
+}
+
+func (m *toy) Distances(n *query.Node) []float64 {
+	t := autodiff.NewTape()
+	emb := m.embed(t, n).Value()
+	out := make([]float64, m.n)
+	for e := 0; e < m.n; e++ {
+		s := 0.0
+		for j, v := range m.ent.Row(e) {
+			s += math.Abs(v - emb[j])
+		}
+		out[e] = s
+	}
+	return out
+}
+
+func TestTrainRunsAndReducesLoss(t *testing.T) {
+	ds := kg.SynthFB237(51)
+	m := newToy(ds.Train, 52)
+	var first, last float64
+	seen := 0
+	res, err := Train(m, ds.Train, TrainConfig{
+		QueriesPerStructure: 30,
+		Steps:               200,
+		BatchSize:           8,
+		NegSamples:          4,
+		LR:                  0.05,
+		Seed:                53,
+		Structures:          []string{"1p"},
+		Progress: func(step int, loss float64) {
+			if seen == 0 {
+				first = loss
+			}
+			last = loss
+			seen++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 200 || res.Elapsed <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if seen < 2 {
+		t.Fatalf("progress callback fired %d times", seen)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: first %.4f, last %.4f", first, last)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	ds := kg.SynthFB237(54)
+	cfg := TrainConfig{
+		QueriesPerStructure: 20, Steps: 50, BatchSize: 4, NegSamples: 4,
+		LR: 0.05, Seed: 55, Structures: []string{"1p"},
+	}
+	a := newToy(ds.Train, 56)
+	b := newToy(ds.Train, 56)
+	if _, err := Train(a, ds.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(b, ds.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.ent.Data {
+		if a.ent.Data[i] != b.ent.Data[i] {
+			t.Fatalf("parameter %d differs between identical runs: %g vs %g",
+				i, a.ent.Data[i], b.ent.Data[i])
+		}
+	}
+}
+
+func TestTrainFiltersUnsupportedStructures(t *testing.T) {
+	ds := kg.SynthFB237(57)
+	m := newToy(ds.Train, 58)
+	// "2i" unsupported by toy; only "1p"/"2p" remain.
+	_, err := Train(m, ds.Train, TrainConfig{
+		QueriesPerStructure: 10, Steps: 10, BatchSize: 2, NegSamples: 2,
+		LR: 0.01, Seed: 59, Structures: []string{"2i", "1p"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A model supporting nothing must error.
+	_, err = Train(m, ds.Train, TrainConfig{
+		QueriesPerStructure: 10, Steps: 10, BatchSize: 2, NegSamples: 2,
+		LR: 0.01, Seed: 59, Structures: []string{"2i"},
+	})
+	if err == nil {
+		t.Error("expected error when no structures are supported")
+	}
+}
+
+func TestOneHopWorkloadCoversAllHeadRelPairs(t *testing.T) {
+	ds := kg.SynthFB237(60)
+	w := OneHopWorkload(ds.Train)
+	if len(w) == 0 {
+		t.Fatal("empty workload")
+	}
+	pairs := make(map[[2]int32]bool)
+	for _, q := range w {
+		if q.Root.Op != query.OpProjection || q.Root.Args[0].Op != query.OpAnchor {
+			t.Fatal("workload query is not 1p")
+		}
+		h := q.Root.Args[0].Anchor
+		r := q.Root.Rel
+		pairs[[2]int32{int32(h), int32(r)}] = true
+		if len(q.Answers) == 0 {
+			t.Fatal("1p workload query with no answers")
+		}
+		for e := range q.Answers {
+			if !ds.Train.HasTriple(h, r, e) {
+				t.Fatal("answer not backed by a triple")
+			}
+		}
+	}
+	if len(pairs) != len(w) {
+		t.Errorf("duplicate (head, relation) pairs: %d distinct of %d", len(pairs), len(w))
+	}
+	if len(pairs) < ds.Train.NumTriples()/4 {
+		t.Errorf("suspiciously few pairs: %d", len(pairs))
+	}
+}
+
+func TestSampleNegativesExcludesAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ans := query.NewSet(1, 2, 3)
+	negs := SampleNegatives(ans, 10, 50, rng)
+	if len(negs) != 50 {
+		t.Fatalf("got %d negatives", len(negs))
+	}
+	for _, e := range negs {
+		if ans.Has(e) {
+			t.Fatal("negative sample is an answer")
+		}
+	}
+	// Universe fully covered by answers -> nil.
+	if SampleNegatives(query.NewSet(0, 1), 2, 5, rng) != nil {
+		t.Error("expected nil when no negatives exist")
+	}
+}
+
+func TestSamplePositiveDeterministicForSeed(t *testing.T) {
+	ans := query.NewSet(5, 9, 2)
+	a, _ := SamplePositive(ans, rand.New(rand.NewSource(7)))
+	b, _ := SamplePositive(ans, rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Error("SamplePositive not deterministic for a fixed seed")
+	}
+	if _, ok := SamplePositive(query.Set{}, rand.New(rand.NewSource(1))); ok {
+		t.Error("empty answer set should not yield a positive")
+	}
+}

@@ -1,0 +1,200 @@
+// Package query implements first-order logical queries over knowledge
+// graphs as computation DAGs (HaLk Sec. II-A): anchor entities at the
+// sources, and projection / intersection / difference / negation / union
+// operations on the internal nodes. It provides the benchmark query
+// structures used in the paper's evaluation, a ground-truth oracle with
+// exact set semantics, a workload sampler, and the DNF rewrite that
+// lifts all unions to the top level (Sec. III-F).
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+// Op enumerates the node kinds of a computation graph.
+type Op int
+
+// The five logical operations plus the anchor leaf.
+const (
+	OpAnchor Op = iota
+	OpProjection
+	OpIntersection
+	OpDifference // Args[0] minus Args[1..]
+	OpNegation
+	OpUnion
+)
+
+// String returns the conventional short name of the operation.
+func (o Op) String() string {
+	switch o {
+	case OpAnchor:
+		return "anchor"
+	case OpProjection:
+		return "proj"
+	case OpIntersection:
+		return "inter"
+	case OpDifference:
+		return "diff"
+	case OpNegation:
+		return "neg"
+	case OpUnion:
+		return "union"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Node is one node of a query computation DAG. The target node of the
+// query is the root of the tree.
+type Node struct {
+	Op     Op
+	Anchor kg.EntityID   // valid when Op == OpAnchor
+	Rel    kg.RelationID // valid when Op == OpProjection
+	Args   []*Node
+}
+
+// NewAnchor returns an anchor leaf.
+func NewAnchor(e kg.EntityID) *Node { return &Node{Op: OpAnchor, Anchor: e} }
+
+// NewProjection returns the projection of child through relation r.
+func NewProjection(r kg.RelationID, child *Node) *Node {
+	return &Node{Op: OpProjection, Rel: r, Args: []*Node{child}}
+}
+
+// NewIntersection returns the intersection of the children (k >= 2).
+func NewIntersection(children ...*Node) *Node {
+	if len(children) < 2 {
+		panic("query: intersection needs at least two children")
+	}
+	return &Node{Op: OpIntersection, Args: children}
+}
+
+// NewDifference returns children[0] minus the remaining children.
+func NewDifference(children ...*Node) *Node {
+	if len(children) < 2 {
+		panic("query: difference needs at least two children")
+	}
+	return &Node{Op: OpDifference, Args: children}
+}
+
+// NewNegation returns the complement of child with respect to the
+// universal entity set.
+func NewNegation(child *Node) *Node {
+	return &Node{Op: OpNegation, Args: []*Node{child}}
+}
+
+// NewUnion returns the union of the children (k >= 2).
+func NewUnion(children ...*Node) *Node {
+	if len(children) < 2 {
+		panic("query: union needs at least two children")
+	}
+	return &Node{Op: OpUnion, Args: children}
+}
+
+// Size returns the number of relational edges (projections) in the
+// query, the "query size" measure of Table VI.
+func (n *Node) Size() int {
+	s := 0
+	if n.Op == OpProjection {
+		s = 1
+	}
+	for _, a := range n.Args {
+		s += a.Size()
+	}
+	return s
+}
+
+// NumVariables counts the variable (non-anchor) nodes of the DAG,
+// i.e. the nodes a subgraph matcher must bind.
+func (n *Node) NumVariables() int {
+	s := 0
+	if n.Op != OpAnchor {
+		s = 1
+	}
+	for _, a := range n.Args {
+		s += a.NumVariables()
+	}
+	return s
+}
+
+// Anchors returns the anchor entities in left-to-right order.
+func (n *Node) Anchors() []kg.EntityID {
+	var out []kg.EntityID
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Op == OpAnchor {
+			out = append(out, m.Anchor)
+			return
+		}
+		for _, a := range m.Args {
+			walk(a)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Clone returns a deep copy of the query tree.
+func (n *Node) Clone() *Node {
+	c := &Node{Op: n.Op, Anchor: n.Anchor, Rel: n.Rel}
+	for _, a := range n.Args {
+		c.Args = append(c.Args, a.Clone())
+	}
+	return c
+}
+
+// String renders the query in a compact prefix notation, e.g.
+// "proj[r3](inter(proj[r1](e5), proj[r2](e9)))".
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder) {
+	switch n.Op {
+	case OpAnchor:
+		fmt.Fprintf(b, "e%d", n.Anchor)
+		return
+	case OpProjection:
+		fmt.Fprintf(b, "proj[r%d](", n.Rel)
+	default:
+		b.WriteString(n.Op.String())
+		b.WriteByte('(')
+	}
+	for i, a := range n.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a.write(b)
+	}
+	b.WriteByte(')')
+}
+
+// Validate checks arity constraints of the whole tree.
+func (n *Node) Validate() error {
+	switch n.Op {
+	case OpAnchor:
+		if len(n.Args) != 0 {
+			return fmt.Errorf("query: anchor with %d children", len(n.Args))
+		}
+	case OpProjection, OpNegation:
+		if len(n.Args) != 1 {
+			return fmt.Errorf("query: %s with %d children, want 1", n.Op, len(n.Args))
+		}
+	case OpIntersection, OpDifference, OpUnion:
+		if len(n.Args) < 2 {
+			return fmt.Errorf("query: %s with %d children, want >= 2", n.Op, len(n.Args))
+		}
+	default:
+		return fmt.Errorf("query: unknown op %d", int(n.Op))
+	}
+	for _, a := range n.Args {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

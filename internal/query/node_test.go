@@ -1,0 +1,180 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+func TestNodeConstructorsAndValidate(t *testing.T) {
+	q := NewProjection(1, NewIntersection(
+		NewProjection(0, NewAnchor(3)),
+		NewProjection(2, NewAnchor(4)),
+	))
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Size(); got != 3 {
+		t.Errorf("Size = %d, want 3", got)
+	}
+	if got := q.NumVariables(); got != 4 {
+		t.Errorf("NumVariables = %d, want 4", got)
+	}
+	anchors := q.Anchors()
+	if len(anchors) != 2 || anchors[0] != 3 || anchors[1] != 4 {
+		t.Errorf("Anchors = %v", anchors)
+	}
+	s := q.String()
+	if !strings.Contains(s, "inter(") || !strings.Contains(s, "proj[r1](") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestNodeCloneDeep(t *testing.T) {
+	q := NewDifference(NewProjection(0, NewAnchor(1)), NewProjection(1, NewAnchor(2)))
+	c := q.Clone()
+	c.Args[0].Rel = 9
+	if q.Args[0].Rel == 9 {
+		t.Error("Clone is shallow")
+	}
+}
+
+func TestConstructorArityPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewIntersection(NewAnchor(0)) },
+		func() { NewDifference(NewAnchor(0)) },
+		func() { NewUnion(NewAnchor(0)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestValidateRejectsBadArity(t *testing.T) {
+	bad := &Node{Op: OpNegation, Args: []*Node{NewAnchor(0), NewAnchor(1)}}
+	if bad.Validate() == nil {
+		t.Error("expected arity error for 2-child negation")
+	}
+	anchorWithKids := &Node{Op: OpAnchor, Args: []*Node{NewAnchor(0)}}
+	if anchorWithKids.Validate() == nil {
+		t.Error("expected arity error for anchor with children")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{
+		OpAnchor: "anchor", OpProjection: "proj", OpIntersection: "inter",
+		OpDifference: "diff", OpNegation: "neg", OpUnion: "union",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), op.String(), want)
+		}
+	}
+	if Op(99).String() != "op(99)" {
+		t.Error("unknown op should format as op(n)")
+	}
+}
+
+// oracleGraph builds a small hand-checkable graph:
+//
+//	0 -r0-> 1, 0 -r0-> 2, 1 -r1-> 3, 2 -r1-> 3, 2 -r1-> 4, 5 -r0-> 4
+func oracleGraph() *kg.Graph {
+	ents, rels := kg.NewDict(), kg.NewDict()
+	for i := 0; i < 6; i++ {
+		ents.Add(string(rune('a' + i)))
+	}
+	rels.Add("r0")
+	rels.Add("r1")
+	g := kg.NewGraph(ents, rels)
+	for _, tr := range []kg.Triple{
+		{H: 0, R: 0, T: 1}, {H: 0, R: 0, T: 2}, {H: 1, R: 1, T: 3},
+		{H: 2, R: 1, T: 3}, {H: 2, R: 1, T: 4}, {H: 5, R: 0, T: 4},
+	} {
+		g.AddTriple(tr)
+	}
+	return g
+}
+
+func setEqual(s Set, want ...kg.EntityID) bool {
+	if len(s) != len(want) {
+		return false
+	}
+	for _, e := range want {
+		if !s.Has(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOracleProjectionChain(t *testing.T) {
+	g := oracleGraph()
+	q1 := NewProjection(0, NewAnchor(0))
+	if !setEqual(Answers(q1, g), 1, 2) {
+		t.Errorf("1p answers = %v", Answers(q1, g).Slice())
+	}
+	q2 := NewProjection(1, q1)
+	if !setEqual(Answers(q2, g), 3, 4) {
+		t.Errorf("2p answers = %v", Answers(q2, g).Slice())
+	}
+}
+
+func TestOracleIntersectionDifferenceUnion(t *testing.T) {
+	g := oracleGraph()
+	b1 := NewProjection(1, NewProjection(0, NewAnchor(0))) // {3,4}
+	b2 := NewProjection(0, NewAnchor(5))                   // {4}
+	if !setEqual(Answers(NewIntersection(b1, b2), g), 4) {
+		t.Error("intersection wrong")
+	}
+	if !setEqual(Answers(NewDifference(b1, b2), g), 3) {
+		t.Error("difference wrong")
+	}
+	if !setEqual(Answers(NewUnion(b1, b2), g), 3, 4) {
+		t.Error("union wrong")
+	}
+}
+
+func TestOracleNegation(t *testing.T) {
+	g := oracleGraph()
+	q := NewNegation(NewProjection(0, NewAnchor(0))) // complement of {1,2}
+	if !setEqual(Answers(q, g), 0, 3, 4, 5) {
+		t.Errorf("negation answers = %v", Answers(q, g).Slice())
+	}
+	// 2in: P(r1, a2) ∩ ¬P(r0, a5) = {3,4} ∩ ¬{4} = {3}
+	q2 := NewIntersection(
+		NewProjection(1, NewAnchor(2)),
+		NewNegation(NewProjection(0, NewAnchor(5))),
+	)
+	if !setEqual(Answers(q2, g), 3) {
+		t.Errorf("2in answers = %v", Answers(q2, g).Slice())
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewSet(1, 2, 3)
+	b := NewSet(3, 4)
+	if !setEqual(a.Intersect(b), 3) {
+		t.Error("Intersect")
+	}
+	if !setEqual(a.Union(b), 1, 2, 3, 4) {
+		t.Error("Union")
+	}
+	if !setEqual(a.Minus(b), 1, 2) {
+		t.Error("Minus")
+	}
+	if !setEqual(b.Complement(6), 0, 1, 2, 5) {
+		t.Error("Complement")
+	}
+	if len(a.Slice()) != 3 {
+		t.Error("Slice")
+	}
+}

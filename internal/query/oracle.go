@@ -1,0 +1,123 @@
+package query
+
+import "github.com/halk-kg/halk/internal/kg"
+
+// Set is an entity set with set-algebra helpers.
+type Set map[kg.EntityID]struct{}
+
+// NewSet builds a set from the given entities.
+func NewSet(es ...kg.EntityID) Set {
+	s := make(Set, len(es))
+	for _, e := range es {
+		s[e] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s Set) Has(e kg.EntityID) bool { _, ok := s[e]; return ok }
+
+// Slice returns the members in unspecified order.
+func (s Set) Slice() []kg.EntityID {
+	out := make([]kg.EntityID, 0, len(s))
+	for e := range s {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	small, big := s, t
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	out := make(Set)
+	for e := range small {
+		if big.Has(e) {
+			out[e] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	out := make(Set, len(s)+len(t))
+	for e := range s {
+		out[e] = struct{}{}
+	}
+	for e := range t {
+		out[e] = struct{}{}
+	}
+	return out
+}
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set {
+	out := make(Set)
+	for e := range s {
+		if !t.Has(e) {
+			out[e] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Complement returns the complement of s with respect to a universe of n
+// entities (ids 0..n-1).
+func (s Set) Complement(n int) Set {
+	out := make(Set, n-len(s))
+	for e := kg.EntityID(0); int(e) < n; e++ {
+		if !s.Has(e) {
+			out[e] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Answers evaluates the query with exact set semantics against g: the
+// ground-truth oracle. The universal set for negation is the full entity
+// dictionary of g.
+func Answers(n *Node, g *kg.Graph) Set {
+	switch n.Op {
+	case OpAnchor:
+		return NewSet(n.Anchor)
+	case OpProjection:
+		child := Answers(n.Args[0], g)
+		out := make(Set)
+		for e := range child {
+			for _, t := range g.Successors(e, n.Rel) {
+				out[t] = struct{}{}
+			}
+		}
+		return out
+	case OpIntersection:
+		out := Answers(n.Args[0], g)
+		for _, a := range n.Args[1:] {
+			out = out.Intersect(Answers(a, g))
+			if len(out) == 0 {
+				return out
+			}
+		}
+		return out
+	case OpDifference:
+		out := Answers(n.Args[0], g)
+		for _, a := range n.Args[1:] {
+			out = out.Minus(Answers(a, g))
+			if len(out) == 0 {
+				return out
+			}
+		}
+		return out
+	case OpNegation:
+		return Answers(n.Args[0], g).Complement(g.NumEntities())
+	case OpUnion:
+		out := make(Set)
+		for _, a := range n.Args {
+			out = out.Union(Answers(a, g))
+		}
+		return out
+	}
+	panic("query: Answers: unknown op")
+}

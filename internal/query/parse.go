@@ -1,0 +1,172 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+// Parse reads a query from the compact prefix DSL that Node.String
+// emits, resolving entity and relation names against the dictionaries:
+//
+//	proj[directed](inter(proj[awardWonBy](Oscar), proj[nationalOf](USA)))
+//
+// Operator names may be abbreviated: p/proj, i/inter, d/diff, n/neg,
+// u/union. Anchors are entity names (anything that is not an operator
+// keyword).
+func Parse(src string, entities, relations *kg.Dict) (*Node, error) {
+	p := &dslParser{toks: dslTokens(src), ents: entities, rels: relations}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, fmt.Errorf("query: parse: %w", err)
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("query: parse: unexpected trailing token %q", p.peek())
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+type dslParser struct {
+	toks []string
+	pos  int
+	ents *kg.Dict
+	rels *kg.Dict
+}
+
+func (p *dslParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *dslParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *dslParser) expect(tok string) error {
+	if got := p.next(); got != tok {
+		return fmt.Errorf("expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+var dslOps = map[string]Op{
+	"p": OpProjection, "proj": OpProjection,
+	"i": OpIntersection, "inter": OpIntersection,
+	"d": OpDifference, "diff": OpDifference,
+	"n": OpNegation, "neg": OpNegation,
+	"u": OpUnion, "union": OpUnion,
+}
+
+func (p *dslParser) parseExpr() (*Node, error) {
+	tok := p.next()
+	if tok == "" {
+		return nil, fmt.Errorf("unexpected end of query")
+	}
+	op, isOp := dslOps[strings.ToLower(tok)]
+	if !isOp || (p.peek() != "(" && p.peek() != "[") {
+		// An anchor entity name.
+		id, ok := p.ents.ID(tok)
+		if !ok {
+			return nil, fmt.Errorf("unknown entity %q", tok)
+		}
+		return NewAnchor(kg.EntityID(id)), nil
+	}
+
+	switch op {
+	case OpProjection:
+		if err := p.expect("["); err != nil {
+			return nil, err
+		}
+		relName := p.next()
+		rel, ok := p.rels.ID(relName)
+		if !ok {
+			return nil, fmt.Errorf("unknown relation %q", relName)
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		return NewProjection(kg.RelationID(rel), args[0]), nil
+	case OpNegation:
+		args, err := p.parseArgs(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		return NewNegation(args[0]), nil
+	default:
+		args, err := p.parseArgs(2, -1)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Op: op, Args: args}, nil
+	}
+}
+
+// parseArgs parses "(expr, expr, ...)" with the given arity bounds
+// (max < 0 means unbounded).
+func (p *dslParser) parseArgs(min, max int) ([]*Node, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []*Node
+	for {
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, n)
+		switch tok := p.next(); tok {
+		case ",":
+			continue
+		case ")":
+			if len(args) < min {
+				return nil, fmt.Errorf("operator needs at least %d arguments, got %d", min, len(args))
+			}
+			if max >= 0 && len(args) > max {
+				return nil, fmt.Errorf("operator takes at most %d arguments, got %d", max, len(args))
+			}
+			return args, nil
+		default:
+			return nil, fmt.Errorf("expected ',' or ')', got %q", tok)
+		}
+	}
+}
+
+// dslTokens splits on brackets, parens and commas; names may contain any
+// other non-space runes (so dataset names like "e0042" or "7th Heaven"
+// quoted with underscores work).
+func dslTokens(src string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range src {
+		switch {
+		case unicode.IsSpace(r):
+			flush()
+		case strings.ContainsRune("()[],", r):
+			flush()
+			toks = append(toks, string(r))
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}

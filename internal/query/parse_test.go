@@ -1,0 +1,121 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+func dslDicts() (*kg.Dict, *kg.Dict) {
+	ents, rels := kg.NewDict(), kg.NewDict()
+	for _, e := range []string{"Oscar", "USA", "e0042"} {
+		ents.Add(e)
+	}
+	for _, r := range []string{"directed", "awardWonBy", "nationalOf"} {
+		rels.Add(r)
+	}
+	return ents, rels
+}
+
+func TestParseDSLRoundTripExamples(t *testing.T) {
+	ents, rels := dslDicts()
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"Oscar", "e0"},
+		{"p[directed](Oscar)", "proj[r0](e0)"},
+		{"proj[directed](inter(proj[awardWonBy](Oscar), proj[nationalOf](USA)))",
+			"proj[r0](inter(proj[r1](e0), proj[r2](e1)))"},
+		{"d(p[directed](Oscar), p[directed](USA))", "diff(proj[r0](e0), proj[r0](e1))"},
+		{"n(p[awardWonBy](Oscar))", "neg(proj[r1](e0))"},
+		{"u(p[directed](Oscar), p[directed](USA), p[directed](e0042))",
+			"union(proj[r0](e0), proj[r0](e1), proj[r0](e2))"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.src, ents, rels)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if n.String() != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.src, n, c.want)
+		}
+	}
+}
+
+func TestParseDSLErrors(t *testing.T) {
+	ents, rels := dslDicts()
+	bad := []string{
+		"",
+		"p[directed](Oscar",          // unbalanced
+		"p[nope](Oscar)",             // unknown relation
+		"p[directed](Nobody)",        // unknown entity
+		"i(p[directed](Oscar))",      // intersection arity
+		"n(p[directed](Oscar), USA)", // negation arity
+		"p[directed](Oscar) USA",     // trailing
+		"p(Oscar)",                   // projection without relation
+		"i(p[directed](Oscar); USA)", // bad separator
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, ents, rels); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// TestParseDSLInverseOfString: every sampled query can be re-parsed from
+// its String() form (using the dataset's raw eN/rN names would require a
+// dict with those names — use the names the dicts carry).
+func TestParseDSLInverseOfString(t *testing.T) {
+	ds := kg.SynthFB237(91)
+	s := NewSampler(ds.Train, rand.New(rand.NewSource(92)))
+	for _, structure := range []string{"1p", "2p", "2i", "2d", "pni", "up", "2ippd"} {
+		q, ok := s.Sample(structure)
+		if !ok {
+			t.Fatalf("sampling %s failed", structure)
+		}
+		// Node.String prints ids as eN/rN; translate to dictionary names.
+		src := q.String()
+		src = translateIDs(src, ds.Train)
+		back, err := Parse(src, ds.Train.Entities, ds.Train.Relations)
+		if err != nil {
+			t.Fatalf("%s: Parse(%q): %v", structure, src, err)
+		}
+		if back.String() != q.String() {
+			t.Errorf("%s: round trip changed query:\n  %s\n  %s", structure, q, back)
+		}
+	}
+}
+
+// translateIDs rewrites eN/rN tokens in a Node.String rendering into the
+// dictionary names of the graph (which for synthetic datasets are e0042
+// style and differ from the raw indices).
+func translateIDs(src string, g *kg.Graph) string {
+	var out strings.Builder
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		if (c == 'e' || c == 'r') && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9' {
+			j := i + 1
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			id := 0
+			for _, d := range src[i+1 : j] {
+				id = id*10 + int(d-'0')
+			}
+			if c == 'e' {
+				out.WriteString(g.Entities.Name(int32(id)))
+			} else {
+				out.WriteString(g.Relations.Name(int32(id)))
+			}
+			i = j
+			continue
+		}
+		out.WriteByte(c)
+		i++
+	}
+	return out.String()
+}

@@ -1,0 +1,118 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+// randomSet builds a Set from arbitrary int16 values within a universe.
+func randomSet(vals []uint16, universe int) Set {
+	s := make(Set)
+	for _, v := range vals {
+		s[kg.EntityID(int(v)%universe)] = struct{}{}
+	}
+	return s
+}
+
+const propUniverse = 64
+
+func TestSetAlgebraLaws(t *testing.T) {
+	// De Morgan: ¬(A ∪ B) == ¬A ∩ ¬B over a fixed universe.
+	deMorgan := func(av, bv []uint16) bool {
+		a, b := randomSet(av, propUniverse), randomSet(bv, propUniverse)
+		lhs := a.Union(b).Complement(propUniverse)
+		rhs := a.Complement(propUniverse).Intersect(b.Complement(propUniverse))
+		return setEq(lhs, rhs)
+	}
+	if err := quick.Check(deMorgan, nil); err != nil {
+		t.Error("De Morgan:", err)
+	}
+
+	// A − B == A ∩ ¬B.
+	minusAsIntersect := func(av, bv []uint16) bool {
+		a, b := randomSet(av, propUniverse), randomSet(bv, propUniverse)
+		return setEq(a.Minus(b), a.Intersect(b.Complement(propUniverse)))
+	}
+	if err := quick.Check(minusAsIntersect, nil); err != nil {
+		t.Error("difference-as-intersection:", err)
+	}
+
+	// Double complement is identity.
+	doubleComp := func(av []uint16) bool {
+		a := randomSet(av, propUniverse)
+		return setEq(a.Complement(propUniverse).Complement(propUniverse), a)
+	}
+	if err := quick.Check(doubleComp, nil); err != nil {
+		t.Error("double complement:", err)
+	}
+
+	// Intersection is commutative and bounded by its inputs.
+	interBounds := func(av, bv []uint16) bool {
+		a, b := randomSet(av, propUniverse), randomSet(bv, propUniverse)
+		i1, i2 := a.Intersect(b), b.Intersect(a)
+		if !setEq(i1, i2) {
+			return false
+		}
+		return len(i1) <= len(a) && len(i1) <= len(b)
+	}
+	if err := quick.Check(interBounds, nil); err != nil {
+		t.Error("intersection bounds:", err)
+	}
+}
+
+func setEq(a, b Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for e := range a {
+		if !b.Has(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOracleDifferenceMatchesSetDefinition: D(A, B, C) == A − B − C for
+// arbitrary sampled sub-queries.
+func TestOracleDifferenceMatchesSetDefinition(t *testing.T) {
+	ds := kg.SynthFB237(81)
+	s := NewSampler(ds.Train, rand.New(rand.NewSource(82)))
+	for i := 0; i < 10; i++ {
+		q, ok := s.Sample("3d")
+		if !ok {
+			t.Fatal("sampling 3d failed")
+		}
+		want := Answers(q.Args[0], ds.Train).
+			Minus(Answers(q.Args[1], ds.Train)).
+			Minus(Answers(q.Args[2], ds.Train))
+		got := Answers(q, ds.Train)
+		if !setEq(got, want) {
+			t.Fatalf("difference oracle mismatch: got %d, want %d", len(got), len(want))
+		}
+	}
+}
+
+// TestOracleMonotoneUnderGraphGrowth: for union-free, negation-free
+// queries, answers on a supergraph contain answers on the subgraph.
+func TestOracleMonotoneUnderGraphGrowth(t *testing.T) {
+	ds := kg.SynthFB237(83)
+	s := NewSampler(ds.Train, rand.New(rand.NewSource(84)))
+	for _, structure := range []string{"1p", "2p", "2i", "3i", "pi", "ip", "2ipp"} {
+		for i := 0; i < 3; i++ {
+			q, ok := s.Sample(structure)
+			if !ok {
+				t.Fatalf("sampling %s failed", structure)
+			}
+			small := Answers(q, ds.Train)
+			big := Answers(q, ds.Test)
+			for e := range small {
+				if !big.Has(e) {
+					t.Fatalf("%s: answer %d lost when the graph grew", structure, e)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+)
+
+// tmpl is an ungrounded query-structure template: the shape of the
+// computation graph without concrete anchors or relations.
+type tmpl struct {
+	op   Op
+	kids []tmpl
+}
+
+func ta() tmpl           { return tmpl{op: OpAnchor} }
+func tp(k tmpl) tmpl     { return tmpl{op: OpProjection, kids: []tmpl{k}} }
+func tn(k tmpl) tmpl     { return tmpl{op: OpNegation, kids: []tmpl{k}} }
+func ti(ks ...tmpl) tmpl { return tmpl{op: OpIntersection, kids: ks} }
+func td(ks ...tmpl) tmpl { return tmpl{op: OpDifference, kids: ks} }
+func tu(ks ...tmpl) tmpl { return tmpl{op: OpUnion, kids: ks} }
+func twoIPP(k int) tmpl  { return tp(tp(ti(manyP(k)...))) }
+func manyP(k int) []tmpl {
+	out := make([]tmpl, k)
+	for i := range out {
+		out[i] = tp(ta())
+	}
+	return out
+}
+
+// structures holds every named query structure used in the paper:
+// 12 EPFO+difference structures (Tables I, II), 4 negation structures
+// (Tables III, IV), 6 large structures (Fig. 6a, Fig. 6c) and the
+// query-size ladder of Table VI.
+var structures = map[string]tmpl{
+	"1p": tp(ta()),
+	"2p": tp(tp(ta())),
+	"3p": tp(tp(tp(ta()))),
+	"2i": ti(manyP(2)...),
+	"3i": ti(manyP(3)...),
+	"ip": tp(ti(manyP(2)...)),
+	"pi": ti(tp(tp(ta())), tp(ta())),
+	"2u": tu(manyP(2)...),
+	"up": tp(tu(manyP(2)...)),
+	"2d": td(manyP(2)...),
+	"3d": td(manyP(3)...),
+	"dp": tp(td(manyP(2)...)),
+
+	"2in": ti(tp(ta()), tn(tp(ta()))),
+	"3in": ti(tp(ta()), tp(ta()), tn(tp(ta()))),
+	"pin": ti(tp(tp(ta())), tn(tp(ta()))),
+	"pni": ti(tn(tp(tp(ta()))), tp(ta())),
+
+	"2ipp":  twoIPP(2),
+	"2ippu": tu(twoIPP(2), tp(ta())),
+	"2ippd": td(twoIPP(2), tp(ta())),
+	"3ipp":  twoIPP(3),
+	"3ippu": tu(twoIPP(3), tp(ta())),
+	"3ippd": td(twoIPP(3), tp(ta())),
+
+	"pip":  tp(ti(tp(tp(ta())), tp(ta()))),
+	"p3ip": tp(ti(tp(tp(ta())), tp(ta()), tp(ta()))),
+}
+
+// TrainStructures are the structures used during training (Sec. IV-A:
+// ip, pi, 2u, up and dp are held out to measure generalisation).
+var TrainStructures = []string{"1p", "2p", "3p", "2i", "3i", "2u", "2d", "3d", "2in", "3in", "pin", "pni"}
+
+// EPFOStructures are the 12 structures of Tables I and II.
+var EPFOStructures = []string{"1p", "2p", "3p", "2i", "3i", "ip", "pi", "2u", "up", "2d", "3d", "dp"}
+
+// NegationStructures are the 4 structures of Tables III and IV.
+var NegationStructures = []string{"2in", "3in", "pni", "pin"}
+
+// LargeStructures are the 6 structures of Fig. 6a and Fig. 6c.
+var LargeStructures = []string{"2ipp", "2ippu", "2ippd", "3ipp", "3ippu", "3ippd"}
+
+// SizeLadder maps Table VI query sizes 1..5 to their example structures.
+var SizeLadder = []string{"1p", "2p", "pi", "pip", "p3ip"}
+
+// StructureNames returns every defined structure name, sorted.
+func StructureNames() []string {
+	out := make([]string, 0, len(structures))
+	for n := range structures {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasStructure reports whether name is a known structure.
+func HasStructure(name string) bool {
+	_, ok := structures[name]
+	return ok
+}
+
+// structureOf returns the template, panicking on unknown names.
+func structureOf(name string) tmpl {
+	t, ok := structures[name]
+	if !ok {
+		panic(fmt.Sprintf("query: unknown structure %q", name))
+	}
+	return t
+}
+
+// UsesNegation reports whether the structure contains a negation node.
+func UsesNegation(name string) bool { return tmplUses(structureOf(name), OpNegation) }
+
+// UsesDifference reports whether the structure contains a difference node.
+func UsesDifference(name string) bool { return tmplUses(structureOf(name), OpDifference) }
+
+func tmplUses(t tmpl, op Op) bool {
+	if t.op == op {
+		return true
+	}
+	for _, k := range t.kids {
+		if tmplUses(k, op) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package sparql
+
+import (
+	"fmt"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+// Adaptor maps SPARQL graph patterns onto the five logical operators
+// (Fig. 7b): triple patterns become projections rooted at the target
+// variable, multiple patterns on one variable intersect, FILTER NOT
+// EXISTS becomes negation, MINUS becomes difference, and UNION becomes
+// union. Names resolve against the knowledge graph's dictionaries.
+type Adaptor struct {
+	Entities  *kg.Dict
+	Relations *kg.Dict
+}
+
+// Compile translates a parsed SPARQL query into a logical-query
+// computation DAG rooted at the target variable.
+func (a *Adaptor) Compile(q *Query) (*query.Node, error) {
+	c := &compiler{a: a, active: make(map[string]bool)}
+	n, err := c.compileVar(q.Where, q.Target, -1)
+	if err != nil {
+		return nil, fmt.Errorf("sparql: adaptor: %w", err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("sparql: adaptor produced invalid query: %w", err)
+	}
+	return n, nil
+}
+
+type compiler struct {
+	a      *Adaptor
+	active map[string]bool // variables being expanded (cycle guard)
+}
+
+// fresh returns a compiler with an empty cycle guard for sub-groups.
+func (c *compiler) fresh() *compiler {
+	return &compiler{a: c.a, active: make(map[string]bool)}
+}
+
+// compileVar builds the computation sub-DAG whose answers bind the
+// variable v within group g. exclude skips one triple index (the edge
+// currently being traversed from the parent variable), or -1.
+func (c *compiler) compileVar(g *Group, v string, exclude int) (*query.Node, error) {
+	if len(g.UnionBranches) > 0 {
+		branches := make([]*query.Node, 0, len(g.UnionBranches))
+		for _, b := range g.UnionBranches {
+			n, err := c.compileVar(b, v, -1)
+			if err != nil {
+				return nil, err
+			}
+			branches = append(branches, n)
+		}
+		if len(branches) == 1 {
+			return branches[0], nil
+		}
+		return query.NewUnion(branches...), nil
+	}
+
+	if c.active[v] {
+		return nil, fmt.Errorf("cyclic pattern through variable ?%s (patterns must form a tree)", v)
+	}
+	c.active[v] = true
+	defer delete(c.active, v)
+
+	var positives []*query.Node
+	for i, tp := range g.Triples {
+		if i == exclude {
+			continue
+		}
+		switch {
+		case tp.O.IsVar && tp.O.Var == v:
+			// (s, p, ?v): forward projection from the subject's sub-DAG.
+			child, err := c.compileTerm(g, tp.S, i)
+			if err != nil {
+				return nil, err
+			}
+			rel, err := c.relation(tp.P)
+			if err != nil {
+				return nil, err
+			}
+			positives = append(positives, query.NewProjection(rel, child))
+		case tp.S.IsVar && tp.S.Var == v:
+			// (?v, p, o): needs the inverse relation p_inv in the KG.
+			inv, ok := c.a.Relations.ID(tp.P + "_inv")
+			if !ok {
+				return nil, fmt.Errorf("pattern (?%s :%s %s) needs inverse relation %q, which the graph lacks",
+					v, tp.P, tp.O, tp.P+"_inv")
+			}
+			child, err := c.compileTerm(g, tp.O, i)
+			if err != nil {
+				return nil, err
+			}
+			positives = append(positives, query.NewProjection(kg.RelationID(inv), child))
+		}
+	}
+	if len(positives) == 0 {
+		return nil, fmt.Errorf("variable ?%s is not constrained by any triple pattern", v)
+	}
+
+	var negations []*query.Node
+	for _, sub := range g.NotExists {
+		// Sub-groups re-reference v in a fresh constraint tree; reset the
+		// cycle guard for them.
+		n, err := c.fresh().compileVar(sub, v, -1)
+		if err != nil {
+			return nil, err
+		}
+		negations = append(negations, query.NewNegation(n))
+	}
+
+	node := positives[0]
+	all := append(positives, negations...)
+	if len(all) > 1 {
+		node = query.NewIntersection(all...)
+	}
+
+	if len(g.Minus) > 0 {
+		args := []*query.Node{node}
+		for _, sub := range g.Minus {
+			n, err := c.fresh().compileVar(sub, v, -1)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, n)
+		}
+		node = query.NewDifference(args...)
+	}
+	return node, nil
+}
+
+// compileTerm resolves a subject/object term: constants become anchors,
+// variables expand recursively within the same group. via is the index
+// of the triple being traversed into this term, excluded from the
+// variable's own constraints.
+func (c *compiler) compileTerm(g *Group, t Term, via int) (*query.Node, error) {
+	if !t.IsVar {
+		id, ok := c.a.Entities.ID(t.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown entity %q", t.Name)
+		}
+		return query.NewAnchor(kg.EntityID(id)), nil
+	}
+	return c.compileVar(g, t.Var, via)
+}
+
+func (c *compiler) relation(name string) (kg.RelationID, error) {
+	id, ok := c.a.Relations.ID(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown relation %q", name)
+	}
+	return kg.RelationID(id), nil
+}

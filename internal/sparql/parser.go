@@ -1,0 +1,280 @@
+// Package sparql implements the SPARQL integration of Sec. IV-F: a
+// parser for the SPARQL subset needed by logical queries (SELECT/WHERE
+// with basic graph patterns, FILTER NOT EXISTS, MINUS and UNION) and the
+// query Adaptor that maps graph patterns onto HaLk's five logical
+// operators (Fig. 7), producing a query computation DAG any trained
+// model can execute.
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	// Target is the projected variable name (without '?').
+	Target string
+	// Where is the root group pattern.
+	Where *Group
+	// Limit is the LIMIT clause value, or 0 if absent.
+	Limit int
+}
+
+// Group is a SPARQL group graph pattern.
+type Group struct {
+	// Triples are the basic graph pattern's triple patterns.
+	Triples []TriplePattern
+	// NotExists holds FILTER NOT EXISTS { ... } sub-groups.
+	NotExists []*Group
+	// Minus holds MINUS { ... } sub-groups.
+	Minus []*Group
+	// UnionBranches, when non-empty, makes this group the union of the
+	// branches ({A} UNION {B} UNION ...); Triples/NotExists/Minus are
+	// then empty.
+	UnionBranches []*Group
+}
+
+// Term is a variable or a constant in a triple pattern.
+type Term struct {
+	// Var is the variable name (without '?') when IsVar.
+	Var string
+	// Name is the prefixed-name constant (without ':') when !IsVar.
+	Name  string
+	IsVar bool
+}
+
+func (t Term) String() string {
+	if t.IsVar {
+		return "?" + t.Var
+	}
+	return ":" + t.Name
+}
+
+// TriplePattern is subject–predicate–object; the predicate must be a
+// constant relation.
+type TriplePattern struct {
+	S, O Term
+	P    string // relation name, without ':'
+}
+
+// Parse parses a SPARQL query of the supported subset.
+func Parse(src string) (*Query, error) {
+	p := &parser{toks: tokenize(src)}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("sparql: %w", err)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(tok string) error {
+	if got := p.next(); !strings.EqualFold(got, tok) {
+		return fmt.Errorf("expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	// PREFIX declarations are accepted and ignored: this subset resolves
+	// prefixed names against the knowledge graph's dictionaries directly.
+	for strings.EqualFold(p.peek(), "PREFIX") {
+		p.next() // PREFIX
+		p.next() // ns:
+		// The IRI may have been split by the tokenizer (it can contain
+		// dots); consume until the closing '>'.
+		for {
+			tok := p.next()
+			if tok == "" {
+				return nil, fmt.Errorf("unterminated PREFIX IRI")
+			}
+			if strings.HasSuffix(tok, ">") {
+				break
+			}
+		}
+	}
+	if err := p.expect("SELECT"); err != nil {
+		return nil, err
+	}
+	v := p.next()
+	if !strings.HasPrefix(v, "?") {
+		return nil, fmt.Errorf("expected projected variable, got %q", v)
+	}
+	if err := p.expect("WHERE"); err != nil {
+		return nil, err
+	}
+	g, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	limit := 0
+	if strings.EqualFold(p.peek(), "LIMIT") {
+		p.next()
+		n, err := strconv.Atoi(p.next())
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid LIMIT value")
+		}
+		limit = n
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("unexpected trailing token %q", p.peek())
+	}
+	return &Query{Target: v[1:], Where: g, Limit: limit}, nil
+}
+
+// parseGroup parses "{ ... }" including trailing UNION chains.
+func (p *parser) parseGroup() (*Group, error) {
+	first, err := p.parseBraced()
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(p.peek(), "UNION") {
+		return first, nil
+	}
+	union := &Group{UnionBranches: []*Group{first}}
+	for strings.EqualFold(p.peek(), "UNION") {
+		p.next()
+		b, err := p.parseBraced()
+		if err != nil {
+			return nil, err
+		}
+		union.UnionBranches = append(union.UnionBranches, b)
+	}
+	return union, nil
+}
+
+func (p *parser) parseBraced() (*Group, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	g := &Group{}
+	for {
+		switch tok := p.peek(); {
+		case tok == "":
+			return nil, fmt.Errorf("unexpected end of query inside group")
+		case tok == "}":
+			p.next()
+			return g, nil
+		case tok == ".":
+			p.next()
+		case strings.EqualFold(tok, "FILTER"):
+			p.next()
+			if err := p.expect("NOT"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("EXISTS"); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseBraced()
+			if err != nil {
+				return nil, err
+			}
+			g.NotExists = append(g.NotExists, sub)
+		case strings.EqualFold(tok, "MINUS"):
+			p.next()
+			sub, err := p.parseBraced()
+			if err != nil {
+				return nil, err
+			}
+			g.Minus = append(g.Minus, sub)
+		case tok == "{":
+			// nested group (only as UNION operand)
+			sub, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			if len(sub.UnionBranches) == 0 {
+				return nil, fmt.Errorf("nested group without UNION is not supported")
+			}
+			if len(g.Triples) > 0 || g.UnionBranches != nil {
+				return nil, fmt.Errorf("mixing triples and UNION in one group is not supported")
+			}
+			g.UnionBranches = sub.UnionBranches
+		default:
+			tp, err := p.parseTriple()
+			if err != nil {
+				return nil, err
+			}
+			g.Triples = append(g.Triples, tp)
+		}
+	}
+}
+
+func (p *parser) parseTriple() (TriplePattern, error) {
+	s, err := p.parseTerm()
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	pred := p.next()
+	if !strings.HasPrefix(pred, ":") {
+		return TriplePattern{}, fmt.Errorf("predicate must be a constant, got %q", pred)
+	}
+	o, err := p.parseTerm()
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	return TriplePattern{S: s, P: pred[1:], O: o}, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	tok := p.next()
+	switch {
+	case strings.HasPrefix(tok, "?"):
+		if len(tok) == 1 {
+			return Term{}, fmt.Errorf("empty variable name")
+		}
+		return Term{IsVar: true, Var: tok[1:]}, nil
+	case strings.HasPrefix(tok, ":"):
+		if len(tok) == 1 {
+			return Term{}, fmt.Errorf("empty constant name")
+		}
+		return Term{Name: tok[1:]}, nil
+	}
+	return Term{}, fmt.Errorf("expected term, got %q", tok)
+}
+
+// tokenize splits the source into tokens: braces, dots, keywords,
+// ?variables and :names.
+func tokenize(src string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range src {
+		switch {
+		case unicode.IsSpace(r):
+			flush()
+		case r == '{' || r == '}' || r == '.':
+			flush()
+			toks = append(toks, string(r))
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}

@@ -1,0 +1,234 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+func TestParseBasicPattern(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE { ?y :directed ?x . :oscar :wonBy ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Target != "x" {
+		t.Errorf("target = %q", q.Target)
+	}
+	if len(q.Where.Triples) != 2 {
+		t.Fatalf("triples = %d", len(q.Where.Triples))
+	}
+	tp := q.Where.Triples[0]
+	if !tp.S.IsVar || tp.S.Var != "y" || tp.P != "directed" || !tp.O.IsVar || tp.O.Var != "x" {
+		t.Errorf("triple 0 = %+v", tp)
+	}
+	tp = q.Where.Triples[1]
+	if tp.S.IsVar || tp.S.Name != "oscar" {
+		t.Errorf("triple 1 subject = %+v", tp.S)
+	}
+}
+
+func TestParseFilterNotExistsAndMinus(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE {
+		:a :r1 ?x .
+		FILTER NOT EXISTS { :b :r2 ?x . }
+		MINUS { :c :r3 ?x }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where.Triples) != 1 || len(q.Where.NotExists) != 1 || len(q.Where.Minus) != 1 {
+		t.Fatalf("group = %+v", q.Where)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE { { :a :r1 ?x } UNION { :b :r2 ?x } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where.UnionBranches) != 2 {
+		t.Fatalf("union branches = %d", len(q.Where.UnionBranches))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT x WHERE { :a :r ?x }`,
+		`SELECT ?x { :a :r ?x }`,
+		`SELECT ?x WHERE { :a :r ?x`,
+		`SELECT ?x WHERE { ?x r ?y }`, // unprefixed predicate
+		`SELECT ?x WHERE { :a :r ?x } trailing`,
+		`SELECT ?x WHERE { FILTER EXISTS { :a :r ?x } }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// adaptorFixture builds a tiny KG and adaptor with named entities.
+func adaptorFixture() (*kg.Graph, *Adaptor) {
+	ents, rels := kg.NewDict(), kg.NewDict()
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		ents.Add(n)
+	}
+	for _, r := range []string{"r1", "r2", "r3", "r1_inv"} {
+		rels.Add(r)
+	}
+	g := kg.NewGraph(ents, rels)
+	add := func(h, r, t string) {
+		hi, _ := ents.ID(h)
+		ri, _ := rels.ID(r)
+		ti, _ := ents.ID(t)
+		g.AddTriple(kg.Triple{H: kg.EntityID(hi), R: kg.RelationID(ri), T: kg.EntityID(ti)})
+	}
+	add("a", "r1", "b")
+	add("a", "r1", "c")
+	add("b", "r1_inv", "a")
+	add("c", "r1_inv", "a")
+	add("b", "r2", "d")
+	add("c", "r2", "e")
+	add("a", "r3", "e")
+	return g, &Adaptor{Entities: ents, Relations: rels}
+}
+
+func mustCompile(t *testing.T, a *Adaptor, src string) *query.Node {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := a.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func answersOf(t *testing.T, a *Adaptor, g *kg.Graph, src string) query.Set {
+	t.Helper()
+	return query.Answers(mustCompile(t, a, src), g)
+}
+
+func TestAdaptorProjectionChain(t *testing.T) {
+	g, a := adaptorFixture()
+	// 2p: who is r2-reachable from something r1-reachable from a?
+	ans := answersOf(t, a, g, `SELECT ?x WHERE { :a :r1 ?y . ?y :r2 ?x }`)
+	want := query.NewSet(3, 4) // d, e
+	if len(ans) != 2 || !ans.Has(3) || !ans.Has(4) {
+		t.Errorf("answers = %v, want %v", ans.Slice(), want.Slice())
+	}
+}
+
+func TestAdaptorIntersection(t *testing.T) {
+	g, a := adaptorFixture()
+	// e is r2-reachable from c AND r3-reachable from a.
+	ans := answersOf(t, a, g, `SELECT ?x WHERE { :c :r2 ?x . :a :r3 ?x }`)
+	if len(ans) != 1 || !ans.Has(4) {
+		t.Errorf("answers = %v, want [e]", ans.Slice())
+	}
+	n := mustCompile(t, a, `SELECT ?x WHERE { :c :r2 ?x . :a :r3 ?x }`)
+	if n.Op != query.OpIntersection {
+		t.Errorf("root op = %v, want intersection", n.Op)
+	}
+}
+
+func TestAdaptorNotExistsBecomesNegation(t *testing.T) {
+	g, a := adaptorFixture()
+	// r1-reachable from a, excluding r3-reachable from a: {b, c} ∩ ¬{e}.
+	src := `SELECT ?x WHERE { :a :r1 ?x . FILTER NOT EXISTS { :a :r3 ?x } }`
+	n := mustCompile(t, a, src)
+	if n.Op != query.OpIntersection || n.Args[1].Op != query.OpNegation {
+		t.Fatalf("compiled shape = %s", n)
+	}
+	ans := query.Answers(n, g)
+	if len(ans) != 2 || !ans.Has(1) || !ans.Has(2) {
+		t.Errorf("answers = %v, want [b c]", ans.Slice())
+	}
+}
+
+func TestAdaptorMinusBecomesDifference(t *testing.T) {
+	g, a := adaptorFixture()
+	src := `SELECT ?x WHERE { :b :r2 ?x . MINUS { :c :r2 ?x } }`
+	n := mustCompile(t, a, src)
+	if n.Op != query.OpDifference {
+		t.Fatalf("root op = %v, want difference", n.Op)
+	}
+	ans := query.Answers(n, g)
+	if len(ans) != 1 || !ans.Has(3) {
+		t.Errorf("answers = %v, want [d]", ans.Slice())
+	}
+}
+
+func TestAdaptorUnion(t *testing.T) {
+	g, a := adaptorFixture()
+	src := `SELECT ?x WHERE { { :b :r2 ?x } UNION { :c :r2 ?x } }`
+	n := mustCompile(t, a, src)
+	if n.Op != query.OpUnion {
+		t.Fatalf("root op = %v, want union", n.Op)
+	}
+	ans := query.Answers(n, g)
+	if len(ans) != 2 || !ans.Has(3) || !ans.Has(4) {
+		t.Errorf("answers = %v, want [d e]", ans.Slice())
+	}
+}
+
+func TestAdaptorInverseRelation(t *testing.T) {
+	g, a := adaptorFixture()
+	// (?x :r1 :b): who has an r1 edge to b? Needs r1_inv, which exists.
+	ans := answersOf(t, a, g, `SELECT ?x WHERE { ?x :r1 :b }`)
+	if len(ans) != 1 || !ans.Has(0) {
+		t.Errorf("answers = %v, want [a]", ans.Slice())
+	}
+	// r2 has no inverse: must fail with a helpful error.
+	q, err := Parse(`SELECT ?x WHERE { ?x :r2 :d }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Compile(q); err == nil || !strings.Contains(err.Error(), "r2_inv") {
+		t.Errorf("expected inverse-relation error, got %v", err)
+	}
+}
+
+func TestAdaptorErrors(t *testing.T) {
+	_, a := adaptorFixture()
+	cases := []string{
+		`SELECT ?x WHERE { :nope :r1 ?x }`,          // unknown entity
+		`SELECT ?x WHERE { :a :nope ?x }`,           // unknown relation
+		`SELECT ?x WHERE { :a :r1 ?y }`,             // target unconstrained
+		`SELECT ?x WHERE { ?y :r1 ?x . ?x :r1 ?y }`, // cyclic (r1_inv exists, so the cycle is reached)
+	}
+	for _, src := range cases {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if _, err := a.Compile(q); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParsePrefixAndLimit(t *testing.T) {
+	q, err := Parse(`PREFIX : <http://example.org/>
+		SELECT ?x WHERE { :a :r1 ?x } LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit != 5 {
+		t.Errorf("Limit = %d, want 5", q.Limit)
+	}
+	if len(q.Where.Triples) != 1 {
+		t.Errorf("triples = %d", len(q.Where.Triples))
+	}
+	if _, err := Parse(`SELECT ?x WHERE { :a :r1 ?x } LIMIT nope`); err == nil {
+		t.Error("invalid LIMIT should error")
+	}
+	if _, err := Parse(`SELECT ?x WHERE { :a :r1 ?x } LIMIT -3`); err == nil {
+		t.Error("negative LIMIT should error")
+	}
+}

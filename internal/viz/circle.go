@@ -1,0 +1,93 @@
+// Package viz renders arc embeddings as ASCII diagrams for debugging
+// and teaching: one embedding dimension at a time, the unit circle is
+// drawn with the query arc highlighted and selected entity points
+// plotted — the Fig. 1d / Fig. 3 view of the embedding space in a
+// terminal.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/halk-kg/halk/internal/geometry"
+)
+
+// Point is an entity to plot: its angle on the chosen dimension and a
+// single-rune label.
+type Point struct {
+	Angle float64
+	Label rune
+}
+
+// Circle renders a circle of the given terminal radius (characters) with
+// the arc [center−l/2ρ, center+l/2ρ] drawn as '=' and points as their
+// labels. Rho is the embedding circle radius used to convert arclength
+// to angle.
+func Circle(radius int, rho, center, arclen float64, points []Point) string {
+	if radius < 4 {
+		radius = 4
+	}
+	w := 2*radius + 1
+	h := radius + 1 // terminal cells are ~2x taller than wide
+	grid := make([][]rune, 2*h+1)
+	for i := range grid {
+		grid[i] = make([]rune, w+2)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	put := func(theta float64, r rune) {
+		x := int(math.Round(float64(radius) * math.Cos(theta)))
+		y := int(math.Round(float64(h) * math.Sin(theta)))
+		grid[h-y][radius+x] = r
+	}
+	// circle outline
+	for i := 0; i < 360; i += 3 {
+		theta := float64(i) * math.Pi / 180
+		put(theta, '.')
+	}
+	// arc segment
+	half := arclen / (2 * rho)
+	steps := int(math.Max(8, half*2*180/math.Pi))
+	for i := 0; i <= steps; i++ {
+		theta := center - half + 2*half*float64(i)/float64(steps)
+		put(theta, '=')
+	}
+	put(center, '+') // semantic center marker
+	// entity points drawn last so they stay visible
+	for _, p := range points {
+		put(p.Angle, p.Label)
+	}
+
+	var b strings.Builder
+	for _, row := range grid {
+		line := strings.TrimRight(string(row), " ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "arc: center %.2f rad, length %.2f (angle %.2f rad); '+' center, '=' arc, '.' circle\n",
+		geometry.Wrap(center), arclen, 2*half)
+	return b.String()
+}
+
+// Dimension renders dimension j of a query arc embedding with the given
+// entity angle vectors, labelling entities '0'-'9' then 'a'-'z' in input
+// order.
+func Dimension(j int, rho float64, arcCenter, arcLen []float64, entities [][]float64) string {
+	pts := make([]Point, 0, len(entities))
+	for i, e := range entities {
+		pts = append(pts, Point{Angle: e[j], Label: pointLabel(i)})
+	}
+	return Circle(14, rho, arcCenter[j], arcLen[j], pts)
+}
+
+func pointLabel(i int) rune {
+	switch {
+	case i < 10:
+		return rune('0' + i)
+	case i < 36:
+		return rune('a' + i - 10)
+	}
+	return '*'
+}

@@ -1,0 +1,44 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCircleContainsMarkers(t *testing.T) {
+	out := Circle(10, 1, 0.5, 1.0, []Point{
+		{Angle: 0.5, Label: 'A'},
+		{Angle: math.Pi, Label: 'B'},
+	})
+	for _, want := range []string{"=", ".", "A", "B", "arc: center 0.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// The point on the arc center overwrote '+': A sits at the center.
+	if strings.Count(out, "A") != 1 {
+		t.Error("entity label should appear exactly once")
+	}
+}
+
+func TestCircleMinRadius(t *testing.T) {
+	out := Circle(1, 1, 0, 0.5, nil)
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Error("tiny radius should be clamped up")
+	}
+}
+
+func TestDimensionLabels(t *testing.T) {
+	if pointLabel(3) != '3' || pointLabel(10) != 'a' || pointLabel(35) != 'z' || pointLabel(99) != '*' {
+		t.Error("pointLabel mapping wrong")
+	}
+	ents := [][]float64{{0.1, 2.0}, {1.5, 3.0}}
+	out := Dimension(1, 1, []float64{0, 2.5}, []float64{0, 0.8}, ents)
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Errorf("entity labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "center 2.50") {
+		t.Errorf("wrong dimension rendered:\n%s", out)
+	}
+}
