@@ -6,6 +6,11 @@
 //
 //	halk-query -ckpt nell.ckpt -sparql 'SELECT ?x WHERE { :e0007 :r003 ?y . ?y :r010 ?x }'
 //	halk-query -ckpt nell.ckpt -structure pi -k 10
+//
+// Each invocation reloads the checkpoint. For repeated queries against
+// one checkpoint, run halk-serve instead: it loads the model once and
+// answers the same three query forms over HTTP with caching and
+// per-request deadlines.
 package main
 
 import (

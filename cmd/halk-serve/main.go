@@ -1,0 +1,135 @@
+// Command halk-serve answers logical queries over HTTP from a trained
+// HaLk checkpoint: the checkpoint is loaded once and served until
+// SIGTERM, which is the paper's online answer-identification phase
+// (Sec. III-H) run as a long-lived service rather than one CLI
+// invocation per query.
+//
+// Usage:
+//
+//	halk-serve -ckpt nell.ckpt -addr :8080 -approx
+//
+// Endpoints:
+//
+//	POST /v1/query   {"sparql"|"query"|"structure": ..., "k": 10,
+//	                  "mode": "exact"|"approx", "timeout_ms": 2000}
+//	GET  /v1/healthz liveness + model identity
+//	GET  /v1/stats   request/latency/cache/candidate-pool metrics
+//
+// Example session:
+//
+//	halk-serve -ckpt halk.ckpt &
+//	curl -s localhost:8080/v1/query -d '{"query": "p[r003](e0007)", "k": 5}'
+//	curl -s localhost:8080/v1/stats
+//
+// On SIGINT/SIGTERM the listener stops accepting requests, in-flight
+// queries drain (bounded by -drain), and the process exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/halk-kg/halk/internal/ann"
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("halk-serve: ")
+
+	var (
+		ckpt    = flag.String("ckpt", "halk.ckpt", "checkpoint path written by halk-train")
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "ranking worker pool size (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", serve.DefaultCacheSize, "answer-cache capacity in entries (negative disables)")
+		k       = flag.Int("k", 10, "default number of answers when a request omits k")
+		maxK    = flag.Int("maxk", 1000, "cap on per-request k")
+		timeout = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		approx  = flag.Bool("approx", false, "build the ANN answer index and enable \"mode\": \"approx\"")
+		drain   = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ds *kg.Dataset
+	m, hdr, err := halk.LoadCheckpoint(f, func(hdr halk.CheckpointHeader) (*kg.Graph, error) {
+		switch hdr.Dataset {
+		case "FB15k":
+			ds = kg.SynthFB15k(hdr.Seed)
+		case "FB237":
+			ds = kg.SynthFB237(hdr.Seed)
+		case "NELL":
+			ds = kg.SynthNELL(hdr.Seed)
+		default:
+			return nil, fmt.Errorf("unknown dataset %q in checkpoint", hdr.Dataset)
+		}
+		return ds.Train, nil
+	})
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s model (d=%d) trained on %s: %d entities, %d relations",
+		m.Name(), hdr.Config.Dim, hdr.Dataset, ds.Train.NumEntities(), ds.Train.NumRelations())
+
+	cfg := serve.Config{
+		Model:          m,
+		Entities:       ds.Train.Entities,
+		Relations:      ds.Train.Relations,
+		Graph:          ds.Test,
+		Workers:        *workers,
+		CacheSize:      *cache,
+		DefaultK:       *k,
+		MaxK:           *maxK,
+		DefaultTimeout: *timeout,
+	}
+	if *approx {
+		cfg.Approx = m.NewAnswerIndex(ann.DefaultConfig(hdr.Seed))
+		log.Print("ANN answer index built; \"mode\": \"approx\" enabled")
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (workers=%d, cache=%d, timeout=%v)", *addr, srv.Workers(), *cache, *timeout)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	log.Print("drained; bye")
+}

@@ -97,6 +97,74 @@ func TestCandidatesDeduplicated(t *testing.T) {
 	}
 }
 
+// TestCandidatesWrapAroundSeam pins the bucket wrap-around at the 0/2π
+// seam: neighbours on either side of angle 0 live in the first and last
+// buckets of a band, and a probe near the seam must reach both through
+// the modular bucket arithmetic.
+func TestCandidatesWrapAroundSeam(t *testing.T) {
+	// One dimension, so every band quantises the same angle and the
+	// seam behaviour is deterministic regardless of the banded dims.
+	pts := [][]float64{
+		{0.05},                  // just past the seam
+		{geometry.TwoPi - 0.05}, // just before the seam
+		{geometry.TwoPi / 2},    // far side of the circle
+	}
+	ix := New(pts, Config{Bands: 4, BucketsPerBand: 8, Seed: 1})
+
+	for _, center := range []float64{0.01, geometry.TwoPi - 0.01} {
+		cands := ix.Candidates([]float64{center}, 0.2)
+		got := make(map[kg.EntityID]bool)
+		for _, c := range cands {
+			got[c] = true
+		}
+		if !got[0] || !got[1] {
+			t.Errorf("probe at %.2f: candidates %v miss a seam neighbour", center, cands)
+		}
+		if got[2] {
+			t.Errorf("probe at %.2f: far-side point leaked into candidates %v", center, cands)
+		}
+	}
+}
+
+// TestCandidatesSeamBucketIndices asserts the probe offsets map onto
+// valid buckets when the center's bucket is the first or last of the
+// band (negative and >= numBuckets offsets must wrap, not vanish).
+func TestCandidatesSeamBucketIndices(t *testing.T) {
+	const buckets = 6
+	width := geometry.TwoPi / buckets
+	// One point per bucket center.
+	var pts [][]float64
+	for b := 0; b < buckets; b++ {
+		pts = append(pts, []float64{(float64(b) + 0.5) * width})
+	}
+	ix := New(pts, Config{Bands: 3, BucketsPerBand: buckets, Seed: 2})
+
+	// A radius just under one bucket width probes base ± 2 (spread =
+	// ceil(radius/width) + 1): from bucket 0 that must include buckets 4
+	// and 5 (wrapped), from the last bucket it must include 0 and 1.
+	for _, tc := range []struct {
+		center float64
+		want   []kg.EntityID
+	}{
+		{0.5 * width, []kg.EntityID{4, 5, 0, 1, 2}},
+		{(buckets - 0.5) * width, []kg.EntityID{3, 4, 5, 0, 1}},
+	} {
+		cands := ix.Candidates([]float64{tc.center}, width*0.9)
+		got := make(map[kg.EntityID]bool)
+		for _, c := range cands {
+			got[c] = true
+		}
+		for _, w := range tc.want {
+			if !got[w] {
+				t.Errorf("center %.2f: bucket-point %d missing from %v", tc.center, w, cands)
+			}
+		}
+		if len(cands) != len(tc.want) {
+			t.Errorf("center %.2f: got %d candidates %v, want %d", tc.center, len(cands), cands, len(tc.want))
+		}
+	}
+}
+
 func TestEmptyIndex(t *testing.T) {
 	ix := New(nil, DefaultConfig(1))
 	if ix.Len() != 0 {

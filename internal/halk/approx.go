@@ -34,6 +34,8 @@ func (m *Model) NewAnswerIndex(cfg ann.Config) *AnswerIndex {
 // the best k are returned. Compared with Model.TopK it trades a little
 // recall for a sublinear candidate count.
 func (ai *AnswerIndex) TopKApprox(n *query.Node, k int) []kg.EntityID {
+	ai.m.rankMu.RLock()
+	defer ai.m.rankMu.RUnlock()
 	arcs := ai.m.EmbedQuery(n)
 	pool := make(map[kg.EntityID]struct{})
 	for _, a := range arcs {
@@ -84,6 +86,8 @@ func (ai *AnswerIndex) TopKApprox(n *query.Node, k int) []kg.EntityID {
 // PoolSize reports how many candidates the index would return for the
 // query — the work saved versus ranking all entities.
 func (ai *AnswerIndex) PoolSize(n *query.Node) int {
+	ai.m.rankMu.RLock()
+	defer ai.m.rankMu.RUnlock()
 	arcs := ai.m.EmbedQuery(n)
 	pool := make(map[kg.EntityID]struct{})
 	for _, a := range arcs {

@@ -1,0 +1,55 @@
+package halk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+// TestCheckpointRoundTripPreservesTopK saves a model, reloads it through
+// the header-driven lookup, and asserts the reloaded model ranks
+// identically: same TopK output, entity for entity, on several
+// structures. This is the contract halk-serve relies on — a served
+// checkpoint must answer exactly like the process that wrote it.
+func TestCheckpointRoundTripPreservesTopK(t *testing.T) {
+	m, ds := testModel(t, 49)
+
+	var buf bytes.Buffer
+	if err := m.SaveCheckpoint(&buf, "FB237", 49); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+
+	m2, hdr, err := LoadCheckpoint(&buf, func(hdr CheckpointHeader) (*kg.Graph, error) {
+		if hdr.Dataset != "FB237" || hdr.Seed != 49 {
+			t.Fatalf("header = %q/%d, want FB237/49", hdr.Dataset, hdr.Seed)
+		}
+		return ds.Train, nil
+	})
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if hdr.Config.Dim != m.cfg.Dim {
+		t.Fatalf("reloaded dim %d != %d", hdr.Config.Dim, m.cfg.Dim)
+	}
+
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(50)))
+	for _, structure := range []string{"1p", "2p", "2i", "2u", "2in"} {
+		q, ok := s.Sample(structure)
+		if !ok {
+			t.Fatalf("sampling %s failed", structure)
+		}
+		want := m.TopK(q, 20)
+		got := m2.TopK(q, 20)
+		if len(got) != len(want) {
+			t.Fatalf("%s: TopK lengths differ: %d vs %d", structure, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: TopK[%d] = %d after reload, want %d", structure, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package halk
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -15,6 +16,12 @@ import (
 //
 // The cache is invalidated by fingerprinting the entity table, so it
 // stays correct when ranking interleaves with training.
+//
+// Invalidation is copy-on-invalidate: a rebuild fills fresh slices and
+// swaps them in under the mutex, never rewriting the previously returned
+// ones in place. Slices handed out by tables therefore stay immutable
+// for as long as a caller holds them, even if another goroutine
+// invalidates the cache mid-scan.
 type trigCache struct {
 	mu   sync.Mutex
 	hash uint64
@@ -22,20 +29,21 @@ type trigCache struct {
 	sin  []float64
 }
 
-// tables returns up-to-date cos/sin tables for the entity data.
+// tables returns up-to-date cos/sin tables for the entity data. The
+// returned slices are read-only snapshots: they are never mutated after
+// being returned.
 func (tc *trigCache) tables(data []float64) (cosT, sinT []float64) {
 	h := fnv64(data)
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	if tc.hash != h || len(tc.cos) != len(data) {
-		if len(tc.cos) != len(data) {
-			tc.cos = make([]float64, len(data))
-			tc.sin = make([]float64, len(data))
-		}
+		cos := make([]float64, len(data))
+		sin := make([]float64, len(data))
 		for i, a := range data {
-			tc.cos[i] = math.Cos(a)
-			tc.sin[i] = math.Sin(a)
+			cos[i] = math.Cos(a)
+			sin[i] = math.Sin(a)
 		}
+		tc.cos, tc.sin = cos, sin
 		tc.hash = h
 	}
 	return tc.cos, tc.sin
@@ -95,22 +103,28 @@ func halfSin(cosD float64) float64 {
 	return math.Sqrt(x)
 }
 
+// ctxCheckStride is how many entities fastDistances scores between
+// context-cancellation checks: frequent enough to honour tight serving
+// deadlines, rare enough to keep the check off the hot loop's profile.
+const ctxCheckStride = 1024
+
 // fastDistances scores every entity against the prepared arcs using the
 // trig cache; identical (to rounding) to geometry.Distance + group
-// penalty, minimised over disjuncts.
-func (m *Model) fastDistances(arcs []preArc) []float64 {
+// penalty, minimised over disjuncts. The group penalty is computed
+// inline per (entity, arc) — groupPenalty is O(1) — so the only
+// allocation is the output vector. A non-nil ctx is polled every
+// ctxCheckStride entities so long scans can be abandoned mid-flight.
+func (m *Model) fastDistances(ctx context.Context, arcs []preArc) ([]float64, error) {
 	d := m.cfg.Dim
 	cosT, sinT := m.trig.tables(m.ent.Data)
 	twoRho := 2 * m.cfg.Rho
 	out := make([]float64, m.graph.NumEntities())
-	pens := make([][]float64, len(arcs))
-	for ai := range arcs {
-		pens[ai] = make([]float64, len(out))
-		for e := range out {
-			pens[ai][e] = m.groupPenalty(kg.EntityID(e), arcs[ai].hot)
-		}
-	}
 	for e := range out {
+		if ctx != nil && e%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		base := e * d
 		best := math.Inf(1)
 		for ai := range arcs {
@@ -125,11 +139,11 @@ func (m *Model) fastDistances(arcs []preArc) []float64 {
 				di := math.Min(halfSin(cc), pa.sh[j])
 				sum += twoRho * (do + m.cfg.Eta*di)
 			}
-			if s := sum + pens[ai][e]; s < best {
+			if s := sum + m.groupPenalty(kg.EntityID(e), pa.hot); s < best {
 				best = s
 			}
 		}
 		out[e] = best
 	}
-	return out
+	return out, nil
 }

@@ -1,8 +1,10 @@
 package halk
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -70,6 +72,112 @@ func TestFnv64Distinguishes(t *testing.T) {
 	}
 	if fnv64(a) != fnv64([]float64{1, 2, 3}) {
 		t.Error("fingerprint not deterministic")
+	}
+}
+
+// TestConcurrentRankingAndEntityUpdate exercises the serving scenario of
+// rankings in-flight while the entity table is being patched: run with
+// -race, it fails if the trig cache rewrites tables handed to an
+// in-flight scan (the pre-copy-on-invalidate bug) or if an entity row is
+// read half-written.
+func TestConcurrentRankingAndEntityUpdate(t *testing.T) {
+	m, ds := testModel(t, 47)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(48)))
+	q, ok := s.Sample("2i")
+	if !ok {
+		t.Fatal("sampling failed")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := m.TopKContext(context.Background(), q, 5); err != nil {
+					t.Errorf("TopKContext: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	angles := append([]float64(nil), m.EntityAngles(0)...)
+	for i := 0; i < 50; i++ {
+		for j := range angles {
+			angles[j] += 0.01
+		}
+		if err := m.SetEntityAngles(0, angles); err != nil {
+			t.Fatalf("SetEntityAngles: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The final update must be visible to subsequent rankings.
+	got := m.EntityAngles(0)
+	for j := range angles {
+		if got[j] != angles[j] {
+			t.Fatalf("entity 0 angle %d = %v, want %v", j, got[j], angles[j])
+		}
+	}
+}
+
+func TestDistancesContextCancellation(t *testing.T) {
+	m, ds := testModel(t, 51)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(52)))
+	q, ok := s.Sample("1p")
+	if !ok {
+		t.Fatal("sampling failed")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.DistancesContext(ctx, q); err != context.Canceled {
+		t.Fatalf("DistancesContext on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := m.TopKContext(context.Background(), q, 3); err != nil {
+		t.Fatalf("TopKContext: %v", err)
+	}
+}
+
+func TestSetEntityAnglesValidates(t *testing.T) {
+	m, _ := testModel(t, 53)
+	if err := m.SetEntityAngles(0, make([]float64, m.cfg.Dim+1)); err == nil {
+		t.Error("wrong dimensionality accepted")
+	}
+	if err := m.SetEntityAngles(kg.EntityID(m.graph.NumEntities()), make([]float64, m.cfg.Dim)); err == nil {
+		t.Error("out-of-range entity accepted")
+	}
+}
+
+// BenchmarkFastDistances guards the hot loop: it must stay free of
+// per-call allocation bursts (the output vector is the only allocation).
+func BenchmarkFastDistances(b *testing.B) {
+	ds := kg.SynthFB237(45)
+	m := New(ds.Train, testConfig(45))
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(46)))
+	q, ok := s.Sample("2i")
+	if !ok {
+		b.Fatal("sampling failed")
+	}
+	arcs := m.EmbedQuery(q)
+	pre := make([]preArc, len(arcs))
+	for i, a := range arcs {
+		pre[i] = m.prepareArc(a)
+	}
+	m.trig.tables(m.ent.Data) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.fastDistances(nil, pre); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package halk
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/halk-kg/halk/internal/autodiff"
@@ -36,15 +37,14 @@ func (m *Model) distance(t *autodiff.Tape, point autodiff.V, arc Arc) autodiff.V
 // groupPenalty is the ξ‖Relu(h_v − h_{U_q})‖₁ term of Eq. 17: ξ when the
 // entity's group is outside the query's reachable groups, 0 otherwise.
 // Group vectors are not trained, so the term is a constant per pair.
+// Since h_v is one-hot (and hot is elementwise non-negative), the L1
+// sum collapses to the single term at the entity's own group — O(1)
+// and allocation-free, which keeps it off the fastDistances profile.
 func (m *Model) groupPenalty(e kg.EntityID, hot []float64) float64 {
-	s := 0.0
-	oh := m.groups.OneHot(e)
-	for i := range oh {
-		if d := oh[i] - hot[i]; d > 0 {
-			s += d
-		}
+	if d := 1 - hot[m.groups.GroupOf(e)]; d > 0 {
+		return m.cfg.Xi * d
 	}
-	return m.cfg.Xi * s
+	return 0
 }
 
 // scoreEntities builds the differentiable scores d(v‖A_q) +
@@ -143,14 +143,26 @@ type ValueArc struct {
 
 // Distances implements model.Interface: the score of every entity
 // against the query (min over DNF disjuncts of arc distance plus group
-// penalty), computed through the trig-cached fast path.
+// penalty), computed through the trig-cached fast path. It is safe to
+// call concurrently with SetEntityAngles; see DistancesContext for the
+// cancellable variant.
 func (m *Model) Distances(n *query.Node) []float64 {
+	m.rankMu.RLock()
+	defer m.rankMu.RUnlock()
+	d, _ := m.distancesLocked(nil, n)
+	return d
+}
+
+// distancesLocked is the shared ranking path; callers must hold rankMu
+// (read side suffices). A nil ctx disables cancellation checks, and the
+// error is then always nil.
+func (m *Model) distancesLocked(ctx context.Context, n *query.Node) ([]float64, error) {
 	arcs := m.EmbedQuery(n)
 	pre := make([]preArc, len(arcs))
 	for i, a := range arcs {
 		pre[i] = m.prepareArc(a)
 	}
-	return m.fastDistances(pre)
+	return m.fastDistances(ctx, pre)
 }
 
 // distanceTo is the reference (slow) scoring path; the fast path in

@@ -2,6 +2,7 @@ package halk
 
 import (
 	"math/rand"
+	"sync"
 
 	"github.com/halk-kg/halk/internal/autodiff"
 	"github.com/halk-kg/halk/internal/geometry"
@@ -41,6 +42,12 @@ type Model struct {
 	negC, negA           *autodiff.MLP    // Eq. 14 output heads
 
 	trig trigCache // entity cos/sin memo for online ranking
+
+	// rankMu serialises online ranking (read side) against the
+	// thread-safe entity-table updates of SetEntityAngles (write side).
+	// The training loop does not take it — training and serving on the
+	// same Model instance still need external coordination.
+	rankMu sync.RWMutex
 }
 
 var _ model.Interface = (*Model)(nil)

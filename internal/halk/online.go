@@ -1,0 +1,57 @@
+package halk
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+)
+
+// This file holds the online serving entry points: context-aware ranking
+// that can be abandoned on a per-request deadline, and a thread-safe
+// entity-table update so a serving process can patch embeddings (e.g.
+// after an incremental retrain) without stopping in-flight queries.
+// Ranking holds rankMu on the read side; SetEntityAngles takes the write
+// side, so a scan never observes a half-written entity row, and the
+// copy-on-invalidate trigCache guarantees that tables handed to an
+// in-flight scan are never rewritten underneath it.
+
+// DistancesContext is the cancellable counterpart of Distances: it
+// returns ctx.Err() as soon as the entity scan notices the context is
+// done, instead of completing the full ranking.
+func (m *Model) DistancesContext(ctx context.Context, n *query.Node) ([]float64, error) {
+	m.rankMu.RLock()
+	defer m.rankMu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m.distancesLocked(ctx, n)
+}
+
+// TopKContext ranks the k best answers under a context deadline.
+func (m *Model) TopKContext(ctx context.Context, n *query.Node, k int) ([]kg.EntityID, error) {
+	d, err := m.DistancesContext(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	return lowestK(d, k), nil
+}
+
+// SetEntityAngles atomically replaces the point embedding of entity e
+// with the given angle vector. It blocks until in-flight rankings have
+// finished, installs the new row, and lets subsequent rankings rebuild
+// the trig cache from the updated table. An AnswerIndex built before the
+// update keeps its snapshot; rebuild it to re-sync the candidate buckets.
+func (m *Model) SetEntityAngles(e kg.EntityID, angles []float64) error {
+	if len(angles) != m.cfg.Dim {
+		return fmt.Errorf("halk: SetEntityAngles: got %d angles, model dim is %d", len(angles), m.cfg.Dim)
+	}
+	if int(e) < 0 || int(e) >= m.graph.NumEntities() {
+		return fmt.Errorf("halk: SetEntityAngles: entity %d out of range [0, %d)", e, m.graph.NumEntities())
+	}
+	m.rankMu.Lock()
+	copy(m.ent.Row(int(e)), angles)
+	m.rankMu.Unlock()
+	return nil
+}

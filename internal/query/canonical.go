@@ -1,0 +1,67 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalKey renders the query in a deterministic canonical form:
+// structurally, the same prefix notation as Node.String, but with the
+// operands of the commutative operators — intersection and union (and
+// therefore the disjunct list of a DNF rewrite) — sorted
+// lexicographically by their own canonical keys, and likewise the
+// subtrahend list of a difference (whose minuend position is fixed but
+// whose subtrahends commute). Logically equivalent argument orderings
+// such as i(a, b) and i(b, a) collide on one key, which makes the result
+// suitable as an answer-cache key: one cache entry serves every
+// phrasing of the query. Anchors and relations render by ID, so keys are
+// stable across processes and independent of dictionary name order.
+func CanonicalKey(n *Node) string {
+	var b strings.Builder
+	writeCanonical(&b, n)
+	return b.String()
+}
+
+func writeCanonical(b *strings.Builder, n *Node) {
+	switch n.Op {
+	case OpAnchor:
+		fmt.Fprintf(b, "e%d", n.Anchor)
+		return
+	case OpProjection:
+		fmt.Fprintf(b, "proj[r%d](", n.Rel)
+		writeCanonical(b, n.Args[0])
+		b.WriteByte(')')
+		return
+	case OpNegation:
+		b.WriteString("neg(")
+		writeCanonical(b, n.Args[0])
+		b.WriteByte(')')
+		return
+	case OpIntersection, OpUnion:
+		keys := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			keys[i] = CanonicalKey(a)
+		}
+		sort.Strings(keys)
+		b.WriteString(n.Op.String())
+		b.WriteByte('(')
+		b.WriteString(strings.Join(keys, ", "))
+		b.WriteByte(')')
+		return
+	case OpDifference:
+		subs := make([]string, len(n.Args)-1)
+		for i, a := range n.Args[1:] {
+			subs[i] = CanonicalKey(a)
+		}
+		sort.Strings(subs)
+		b.WriteString("diff(")
+		writeCanonical(b, n.Args[0])
+		b.WriteString(", ")
+		b.WriteString(strings.Join(subs, ", "))
+		b.WriteByte(')')
+		return
+	}
+	// Unknown ops fall back to the plain rendering.
+	n.write(b)
+}

@@ -1,0 +1,69 @@
+package query
+
+import "testing"
+
+func TestCanonicalKeyCommutes(t *testing.T) {
+	a := NewProjection(1, NewAnchor(5))
+	b := NewProjection(2, NewAnchor(9))
+	c := NewProjection(3, NewAnchor(7))
+
+	cases := []struct {
+		name string
+		x, y *Node
+	}{
+		{"intersection", NewIntersection(a, b), NewIntersection(b, a)},
+		{"union", NewUnion(a, b), NewUnion(b, a)},
+		{"3-way intersection", NewIntersection(a, b, c), NewIntersection(c, a, b)},
+		{"difference subtrahends", NewDifference(a, b, c), NewDifference(a, c, b)},
+		{"nested", NewProjection(4, NewIntersection(a, NewUnion(b, c))),
+			NewProjection(4, NewIntersection(NewUnion(c, b), a))},
+	}
+	for _, tc := range cases {
+		kx, ky := CanonicalKey(tc.x), CanonicalKey(tc.y)
+		if kx != ky {
+			t.Errorf("%s: keys differ:\n  %s\n  %s", tc.name, kx, ky)
+		}
+	}
+}
+
+func TestCanonicalKeyDistinguishes(t *testing.T) {
+	a := NewProjection(1, NewAnchor(5))
+	b := NewProjection(2, NewAnchor(9))
+
+	cases := []struct {
+		name string
+		x, y *Node
+	}{
+		{"operator", NewIntersection(a, b), NewUnion(a, b)},
+		{"difference minuend order", NewDifference(a, b), NewDifference(b, a)},
+		{"relation", NewProjection(1, NewAnchor(5)), NewProjection(2, NewAnchor(5))},
+		{"anchor", NewAnchor(5), NewAnchor(6)},
+		{"negation", NewNegation(a), a},
+	}
+	for _, tc := range cases {
+		kx, ky := CanonicalKey(tc.x), CanonicalKey(tc.y)
+		if kx == ky {
+			t.Errorf("%s: distinct queries share key %s", tc.name, kx)
+		}
+	}
+}
+
+func TestCanonicalKeyDeterministic(t *testing.T) {
+	n := NewIntersection(
+		NewProjection(3, NewUnion(NewAnchor(1), NewAnchor(2))),
+		NewNegation(NewProjection(4, NewAnchor(8))),
+	)
+	k := CanonicalKey(n)
+	for i := 0; i < 10; i++ {
+		if got := CanonicalKey(n.Clone()); got != k {
+			t.Fatalf("key varies: %s vs %s", got, k)
+		}
+	}
+	// DNF rewrites of a union query canonicalise to the same key
+	// regardless of the disjunct order the rewrite produced.
+	u1 := NewUnion(NewProjection(1, NewAnchor(5)), NewProjection(2, NewAnchor(9)))
+	u2 := NewUnion(NewProjection(2, NewAnchor(9)), NewProjection(1, NewAnchor(5)))
+	if CanonicalKey(u1) != CanonicalKey(u2) {
+		t.Error("DNF disjunct order leaks into the canonical key")
+	}
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// answerCache is a mutex-protected LRU over ranked answer lists, keyed
+// by the canonical query key plus the request parameters that change the
+// answer (mode, k). It counts hits, misses and evictions so /v1/stats
+// can report the hit rate.
+type answerCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key -> element whose Value is *cacheEntry
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key     string
+	answers []Answer
+}
+
+// newAnswerCache returns a cache holding up to max entries; max <= 0
+// disables caching (every Get misses, Put is a no-op).
+func newAnswerCache(max int) *answerCache {
+	return &answerCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached answers for key, marking the entry most
+// recently used.
+func (c *answerCache) Get(key string) ([]Answer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).answers, true
+}
+
+// Put stores answers under key, evicting the least recently used entry
+// if the cache is full.
+func (c *answerCache) Put(key string, answers []Answer) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).answers = answers
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, answers: answers})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Flush drops every entry (e.g. after an entity-table update made cached
+// answers stale); the counters are preserved.
+func (c *answerCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+// cacheStats is the /v1/stats view of the cache.
+type cacheStats struct {
+	Size      int     `json:"size"`
+	Capacity  int     `json:"capacity"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func (c *answerCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := cacheStats{
+		Size:      c.ll.Len(),
+		Capacity:  c.max,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRate = float64(c.hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+func ans(ids ...int) []Answer {
+	out := make([]Answer, len(ids))
+	for i, id := range ids {
+		out[i] = Answer{ID: kg.EntityID(id)}
+	}
+	return out
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newAnswerCache(2)
+	c.Put("a", ans(1))
+	c.Put("b", ans(2))
+	c.Put("c", ans(3)) // evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived eviction")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("b evicted prematurely")
+	}
+	s := c.stats()
+	if s.Evictions != 1 || s.Size != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, size 2", s)
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c := newAnswerCache(2)
+	c.Put("a", ans(1))
+	c.Put("b", ans(2))
+	c.Get("a")         // a becomes most recent
+	c.Put("c", ans(3)) // evicts b, not a
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("least recently used entry survived")
+	}
+}
+
+func TestLRUCountersAndFlush(t *testing.T) {
+	c := newAnswerCache(4)
+	c.Put("k", ans(1, 2))
+	c.Get("k")
+	c.Get("nope")
+	s := c.stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRate != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", s.HitRate)
+	}
+	c.Flush()
+	if _, ok := c.Get("k"); ok {
+		t.Error("entry survived Flush")
+	}
+	if got := c.stats(); got.Size != 0 || got.Hits != 1 {
+		t.Errorf("post-flush stats = %+v; size must reset, counters persist", got)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newAnswerCache(0)
+	c.Put("k", ans(1))
+	if _, ok := c.Get("k"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestLRUPutOverwrites(t *testing.T) {
+	c := newAnswerCache(2)
+	c.Put("k", ans(1))
+	c.Put("k", ans(2, 3))
+	got, ok := c.Get("k")
+	if !ok || len(got) != 2 {
+		t.Fatalf("overwrite lost: %v %v", got, ok)
+	}
+	if c.stats().Size != 1 {
+		t.Error("duplicate key grew the cache")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newAnswerCache(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%32)
+				if i%3 == 0 {
+					c.Put(key, ans(i))
+				} else {
+					c.Get(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := c.stats(); s.Size > 16 {
+		t.Errorf("cache overgrew: %d entries", s.Size)
+	}
+}
+
+func TestRingQuantiles(t *testing.T) {
+	r := newRing()
+	for i := 1; i <= 100; i++ {
+		r.observe(float64(i))
+	}
+	if p50 := r.quantile(0.5); p50 < 45 || p50 > 55 {
+		t.Errorf("p50 = %v", p50)
+	}
+	if p99 := r.quantile(0.99); p99 < 95 {
+		t.Errorf("p99 = %v", p99)
+	}
+	if r.quantile(0) != 1 || r.quantile(1) != 100 {
+		t.Errorf("extremes = %v, %v", r.quantile(0), r.quantile(1))
+	}
+	// Overflow the window: old observations roll off.
+	for i := 0; i < ringSize; i++ {
+		r.observe(1000)
+	}
+	if r.quantile(0.5) != 1000 {
+		t.Error("window did not slide")
+	}
+	if r.total != uint64(100+ringSize) {
+		t.Errorf("total = %d", r.total)
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := newRing()
+	if r.quantile(0.5) != 0 {
+		t.Error("empty ring quantile should be 0")
+	}
+}

@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/sparql"
+)
+
+// queryRequest is the POST /v1/query body. Exactly one of SPARQL, Query
+// (prefix DSL) or Structure must be set.
+type queryRequest struct {
+	// SPARQL is a SPARQL query compiled through the adaptor of Sec. IV-F.
+	SPARQL string `json:"sparql,omitempty"`
+	// Query is a query in the prefix DSL, e.g. "i(p[r003](e0007), p[r010](e0042))".
+	Query string `json:"query,omitempty"`
+	// Structure samples one query of the named benchmark structure
+	// (e.g. "pi") from the server's sampling graph.
+	Structure string `json:"structure,omitempty"`
+	// Seed drives structure sampling; defaults to 1.
+	Seed int64 `json:"seed,omitempty"`
+	// K is the number of answers to return; defaults to the server's
+	// DefaultK, capped at MaxK.
+	K int `json:"k,omitempty"`
+	// Mode selects "exact" (full ranking, default) or "approx"
+	// (ANN-pruned candidate pool).
+	Mode string `json:"mode,omitempty"`
+	// TimeoutMS bounds the request end to end (queue wait + ranking);
+	// defaults to the server's DefaultTimeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Answer is one ranked answer entity. Distance is the model's
+// entity-to-query distance (lower = more likely); approx mode omits it,
+// since the ANN path reports only the ranking.
+type Answer struct {
+	ID       kg.EntityID `json:"id"`
+	Entity   string      `json:"entity"`
+	Distance *float64    `json:"distance,omitempty"`
+}
+
+// queryResponse is the POST /v1/query reply.
+type queryResponse struct {
+	Query     string   `json:"query"`
+	Canonical string   `json:"canonical"`
+	Structure string   `json:"structure,omitempty"`
+	Mode      string   `json:"mode"`
+	K         int      `json:"k"`
+	Cached    bool     `json:"cached"`
+	ElapsedMs float64  `json:"elapsed_ms"`
+	Answers   []Answer `json:"answers"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	defer func() {
+		s.metrics.observe("/v1/query", time.Since(start), status >= 400)
+	}()
+	fail := func(code int, format string, args ...any) {
+		status = code
+		writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+	}
+
+	if r.Method != http.MethodPost {
+		fail(http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+
+	root, err := s.compile(&req)
+	if err != nil {
+		fail(http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	k := req.K
+	if k <= 0 {
+		k = s.cfg.DefaultK
+	}
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "exact"
+	}
+	switch mode {
+	case "exact":
+	case "approx":
+		if s.cfg.Approx == nil {
+			fail(http.StatusBadRequest, "approx mode is not enabled on this server")
+			return
+		}
+	default:
+		fail(http.StatusBadRequest, "unknown mode %q (want \"exact\" or \"approx\")", mode)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	canonical := query.CanonicalKey(root)
+	cacheKey := fmt.Sprintf("%s|%s|k=%d", canonical, mode, k)
+	resp := queryResponse{
+		Query:     root.String(),
+		Canonical: canonical,
+		Structure: req.Structure,
+		Mode:      mode,
+		K:         k,
+	}
+
+	if answers, ok := s.cache.Get(cacheKey); ok {
+		resp.Cached = true
+		resp.Answers = answers
+		resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	var answers []Answer
+	var rankErr error
+	poolErr := s.pool.Do(ctx, func() {
+		answers, rankErr = s.rank(ctx, root, k, mode)
+	})
+	if err := firstErr(poolErr, rankErr); err != nil {
+		switch {
+		case errors.Is(err, errPoolClosed):
+			fail(http.StatusServiceUnavailable, "server is draining")
+		case errors.Is(err, context.DeadlineExceeded):
+			fail(http.StatusGatewayTimeout, "query exceeded its %v deadline", timeout)
+		default:
+			fail(http.StatusServiceUnavailable, "%v", err)
+		}
+		return
+	}
+
+	s.cache.Put(cacheKey, answers)
+	resp.Answers = answers
+	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compile turns the request into a query computation DAG through
+// whichever of the three input forms it carries.
+func (s *Server) compile(req *queryRequest) (*query.Node, error) {
+	forms := 0
+	for _, set := range []bool{req.SPARQL != "", req.Query != "", req.Structure != ""} {
+		if set {
+			forms++
+		}
+	}
+	if forms != 1 {
+		return nil, fmt.Errorf("exactly one of \"sparql\", \"query\" or \"structure\" must be set")
+	}
+	switch {
+	case req.SPARQL != "":
+		pq, err := sparql.Parse(req.SPARQL)
+		if err != nil {
+			return nil, err
+		}
+		return s.adaptor.Compile(pq)
+	case req.Query != "":
+		return query.Parse(req.Query, s.cfg.Entities, s.cfg.Relations)
+	default:
+		if s.cfg.Graph == nil {
+			return nil, fmt.Errorf("structure sampling is not enabled on this server")
+		}
+		if !query.HasStructure(req.Structure) {
+			return nil, fmt.Errorf("unknown structure %q; known: %v", req.Structure, query.StructureNames())
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		sampler := query.NewSampler(s.cfg.Graph, rand.New(rand.NewSource(seed)))
+		root, ok := sampler.Sample(req.Structure)
+		if !ok {
+			return nil, fmt.Errorf("could not sample a %q query from the serving graph", req.Structure)
+		}
+		return root, nil
+	}
+}
+
+// rank runs on a pool worker: one query embedding plus one entity
+// ranking, exact or ANN-pruned.
+func (s *Server) rank(ctx context.Context, root *query.Node, k int, mode string) ([]Answer, error) {
+	if mode == "approx" {
+		ids := s.cfg.Approx.TopKApprox(root, k)
+		s.metrics.observePool(s.cfg.Approx.PoolSize(root))
+		answers := make([]Answer, len(ids))
+		for i, e := range ids {
+			answers[i] = Answer{ID: e, Entity: s.cfg.Entities.Name(int32(e))}
+		}
+		return answers, nil
+	}
+
+	var d []float64
+	var err error
+	if cr, ok := s.cfg.Model.(ContextRanker); ok {
+		d, err = cr.DistancesContext(ctx, root)
+	} else {
+		d = s.cfg.Model.Distances(root)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.topK(d, k), nil
+}
+
+// topK selects the k lowest-distance entities, most likely answers
+// first, with the same tie-breaking as halk.Model.TopK (first index
+// wins), so served answers match the offline CLI exactly.
+func (s *Server) topK(d []float64, k int) []Answer {
+	if k > len(d) {
+		k = len(d)
+	}
+	idx := make([]kg.EntityID, len(d))
+	for i := range idx {
+		idx[i] = kg.EntityID(i)
+	}
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(idx); j++ {
+			if d[idx[j]] < d[idx[min]] {
+				min = j
+			}
+		}
+		idx[i], idx[min] = idx[min], idx[i]
+	}
+	answers := make([]Answer, k)
+	for i := 0; i < k; i++ {
+		dist := d[idx[i]]
+		answers[i] = Answer{
+			ID:       idx[i],
+			Entity:   s.cfg.Entities.Name(int32(idx[i])),
+			Distance: &dist,
+		}
+	}
+	return answers
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"model":    s.cfg.Model.Name(),
+		"entities": s.cfg.Entities.Len(),
+	})
+	s.metrics.observe("/v1/healthz", time.Since(start), false)
+}
+
+// statsResponse is the GET /v1/stats reply.
+type statsResponse struct {
+	Model     string                      `json:"model"`
+	Entities  int                         `json:"entities"`
+	UptimeS   float64                     `json:"uptime_s"`
+	Workers   int                         `json:"workers"`
+	Endpoints map[string]endpointSnapshot `json:"endpoints"`
+	Cache     cacheStats                  `json:"cache"`
+	ApproxOn  bool                        `json:"approx_enabled"`
+	Pool      poolSnapshot                `json:"candidate_pool"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	endpoints, pool, uptime := s.metrics.snapshot()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Model:     s.cfg.Model.Name(),
+		Entities:  s.cfg.Entities.Len(),
+		UptimeS:   uptime,
+		Workers:   s.workers,
+		Endpoints: endpoints,
+		Cache:     s.cache.stats(),
+		ApproxOn:  s.cfg.Approx != nil,
+		Pool:      pool,
+	})
+	s.metrics.observe("/v1/stats", time.Since(start), false)
+}

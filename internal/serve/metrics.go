@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ringSize is the number of recent observations each ring keeps;
+// quantiles are computed over this sliding window, so they track the
+// recent traffic rather than the process lifetime.
+const ringSize = 512
+
+// ring is a fixed-size ring buffer of float64 observations. It is not
+// self-locking; metrics.mu guards it.
+type ring struct {
+	buf   []float64
+	next  int
+	total uint64
+}
+
+func newRing() *ring { return &ring{buf: make([]float64, 0, ringSize)} }
+
+func (r *ring) observe(v float64) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.next] = v
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// quantile returns the q-quantile (0 <= q <= 1) of the window, or 0 if
+// nothing has been observed.
+func (r *ring) quantile(q float64) float64 {
+	if len(r.buf) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), r.buf...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// metrics aggregates per-endpoint request counters and latency windows,
+// plus the approx-mode candidate-pool sizes. All methods are safe for
+// concurrent use.
+type metrics struct {
+	start time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	poolSizes *ring
+}
+
+type endpointStats struct {
+	count   uint64
+	errors  uint64
+	latency *ring
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointStats),
+		poolSizes: newRing(),
+	}
+}
+
+// observe records one request against the endpoint: its latency, and
+// whether it failed (any non-2xx response).
+func (mt *metrics) observe(endpoint string, elapsed time.Duration, failed bool) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	es, ok := mt.endpoints[endpoint]
+	if !ok {
+		es = &endpointStats{latency: newRing()}
+		mt.endpoints[endpoint] = es
+	}
+	es.count++
+	if failed {
+		es.errors++
+	}
+	es.latency.observe(float64(elapsed) / float64(time.Millisecond))
+}
+
+// observePool records the candidate-pool size of one approx-mode query.
+func (mt *metrics) observePool(size int) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.poolSizes.observe(float64(size))
+}
+
+// endpointSnapshot is the /v1/stats view of one endpoint.
+type endpointSnapshot struct {
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	LatencyMs latency `json:"latency_ms"`
+}
+
+type latency struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// poolSnapshot summarises approx-mode candidate-pool sizes.
+type poolSnapshot struct {
+	Queries uint64  `json:"queries"`
+	Mean    float64 `json:"mean"`
+	P90     float64 `json:"p90"`
+}
+
+func (mt *metrics) snapshot() (map[string]endpointSnapshot, poolSnapshot, float64) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	eps := make(map[string]endpointSnapshot, len(mt.endpoints))
+	for name, es := range mt.endpoints {
+		eps[name] = endpointSnapshot{
+			Requests: es.count,
+			Errors:   es.errors,
+			LatencyMs: latency{
+				P50: es.latency.quantile(0.50),
+				P90: es.latency.quantile(0.90),
+				P99: es.latency.quantile(0.99),
+			},
+		}
+	}
+	pool := poolSnapshot{Queries: mt.poolSizes.total, P90: mt.poolSizes.quantile(0.90)}
+	if n := len(mt.poolSizes.buf); n > 0 {
+		sum := 0.0
+		for _, v := range mt.poolSizes.buf {
+			sum += v
+		}
+		pool.Mean = sum / float64(n)
+	}
+	return eps, pool, time.Since(mt.start).Seconds()
+}

@@ -1,0 +1,156 @@
+// Package serve implements the online query-serving subsystem: a
+// long-lived Server that owns a trained embedding model and answers
+// logical queries over HTTP/JSON. This is the paper's online
+// answer-identification phase (Sec. III-H) run as a service — the
+// checkpoint is loaded once, the entity trig tables stay warm, and each
+// request costs one query embedding plus one (exact or ANN-pruned)
+// entity ranking.
+//
+// The Server composes:
+//
+//   - a bounded worker pool sized to GOMAXPROCS, so concurrent requests
+//     share the fastDistances hot loop without unbounded goroutines;
+//   - an LRU answer cache keyed by query.CanonicalKey, so logically
+//     equivalent phrasings (i(a,b) vs i(b,a)) share one entry;
+//   - optional ANN-backed approximate answering selected per request;
+//   - per-endpoint request counters and latency quantiles at /v1/stats;
+//   - per-request deadlines through context.Context.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/model"
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/sparql"
+)
+
+// ContextRanker is the optional upgrade a model can implement to support
+// per-request deadlines: ranking aborts with the context error instead
+// of completing the scan. halk.Model implements it; models that don't
+// are served through plain Distances (the deadline then only bounds
+// queue wait, not the scan itself).
+type ContextRanker interface {
+	DistancesContext(ctx context.Context, n *query.Node) ([]float64, error)
+}
+
+// ApproxAnswerer is the ANN-backed answering interface of the "approx"
+// request mode; halk.AnswerIndex implements it.
+type ApproxAnswerer interface {
+	// TopKApprox returns up to k likely answers from the index's
+	// candidate pool.
+	TopKApprox(n *query.Node, k int) []kg.EntityID
+	// PoolSize reports the candidate-pool size for the query (the work
+	// saved versus an exact full ranking; exported at /v1/stats).
+	PoolSize(n *query.Node) int
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Model answers queries through model.Interface.Distances (and
+	// DistancesContext when implemented). Required.
+	Model model.Interface
+	// Entities and Relations resolve names in SPARQL / DSL requests and
+	// label answers. Required.
+	Entities  *kg.Dict
+	Relations *kg.Dict
+	// Graph, when set, enables the "structure" request mode: a query of
+	// the named benchmark structure is sampled from this graph
+	// (typically the test split).
+	Graph *kg.Graph
+	// Approx, when set, enables the "approx" request mode.
+	Approx ApproxAnswerer
+	// Workers bounds ranking concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize is the LRU answer-cache capacity in entries; 0 means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// DefaultK is the answer count when a request omits k; 0 means 10.
+	DefaultK int
+	// MaxK caps per-request k; 0 means 1000.
+	MaxK int
+	// DefaultTimeout bounds a request that names no timeout_ms; 0 means
+	// 10s.
+	DefaultTimeout time.Duration
+}
+
+// DefaultCacheSize is the answer-cache capacity when Config leaves
+// CacheSize zero.
+const DefaultCacheSize = 1024
+
+// Server is a long-lived query-answering service over one trained model.
+// All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	adaptor *sparql.Adaptor // shared across requests; it is stateless
+	pool    *workerPool
+	cache   *answerCache
+	metrics *metrics
+	workers int
+	mux     *http.ServeMux
+}
+
+// New validates cfg and assembles the server with its worker pool,
+// cache, metrics and routes.
+func New(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("serve: Config.Model is required")
+	}
+	if cfg.Entities == nil || cfg.Relations == nil {
+		return nil, fmt.Errorf("serve: Config.Entities and Config.Relations are required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.CacheSize == 0:
+		cfg.CacheSize = DefaultCacheSize
+	case cfg.CacheSize < 0:
+		cfg.CacheSize = 0
+	}
+	if cfg.DefaultK <= 0 {
+		cfg.DefaultK = 10
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 1000
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		adaptor: &sparql.Adaptor{Entities: cfg.Entities, Relations: cfg.Relations},
+		pool:    newWorkerPool(cfg.Workers),
+		cache:   newAnswerCache(cfg.CacheSize),
+		metrics: newMetrics(),
+		workers: cfg.Workers,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the HTTP handler exposing /v1/query, /v1/healthz and
+// /v1/stats; mount it on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workers reports the resolved ranking-pool size.
+func (s *Server) Workers() int { return s.workers }
+
+// FlushCache drops every cached answer list. Call it after updating the
+// model's entity table (e.g. halk.Model.SetEntityAngles) so cached
+// answers cannot outlive the embeddings that produced them.
+func (s *Server) FlushCache() { s.cache.Flush() }
+
+// Close drains the worker pool: in-flight rankings finish, queued and
+// future requests are refused with 503. Shut the http.Server down first
+// so no new requests are accepted while the pool drains.
+func (s *Server) Close() { s.pool.Close() }
