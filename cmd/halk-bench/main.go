@@ -25,11 +25,12 @@ func main() {
 	log.SetPrefix("halk-bench: ")
 
 	var (
-		all   = flag.Bool("all", false, "run every table and figure")
-		only  = flag.String("only", "", "comma-separated experiment ids (e.g. \"Table I,Fig. 6a\")")
-		quick = flag.Bool("quick", false, "smoke-scale budgets")
-		seed  = flag.Int64("seed", 1, "suite seed")
-		out   = flag.String("o", "", "also write results to this file")
+		all    = flag.Bool("all", false, "run every table and figure")
+		only   = flag.String("only", "", "comma-separated experiment ids (e.g. \"Table I,Fig. 6a\")")
+		quick  = flag.Bool("quick", false, "smoke-scale budgets")
+		seed   = flag.Int64("seed", 1, "suite seed")
+		out    = flag.String("o", "", "also write results to this file")
+		shards = flag.Int("shards", 0, "shard count for the Sharding experiment (0 = sweep 1,2,4,GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 	if *quick {
 		cfg = bench.QuickConfig(*seed)
 	}
+	cfg.Shards = *shards
 	cfg.Out = os.Stderr
 	s := bench.NewSuite(cfg)
 
@@ -75,6 +77,7 @@ func main() {
 		// Supplementary experiments beyond the paper's tables.
 		{"Observation", s.Observation}, {"Cardinality", s.Cardinality},
 		{"Table Ext", func() *bench.Table { return s.TableExtended("FB237") }},
+		{"Sharding", s.Sharding},
 	}
 	ran := 0
 	for _, r := range runners {

@@ -41,6 +41,7 @@ import (
 	"github.com/halk-kg/halk/internal/halk"
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/serve"
+	"github.com/halk-kg/halk/internal/shard"
 )
 
 func main() {
@@ -56,6 +57,8 @@ func main() {
 		maxK    = flag.Int("maxk", 1000, "cap on per-request k")
 		timeout = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		approx  = flag.Bool("approx", false, "build the ANN answer index and enable \"mode\": \"approx\"")
+		shards  = flag.Int("shards", 0, "shard the entity table and serve exact queries through the scatter-gather engine (0 = single-threaded full scan)")
+		shardTO = flag.Duration("shard-timeout", 0, "per-shard scan deadline; missed shards degrade the response to a partial result (0 = none)")
 		drain   = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
 	)
 	flag.Parse()
@@ -99,6 +102,14 @@ func main() {
 	if *approx {
 		cfg.Approx = m.NewAnswerIndex(ann.DefaultConfig(hdr.Seed))
 		log.Print("ANN answer index built; \"mode\": \"approx\" enabled")
+	}
+	if *shards > 0 {
+		ranker, err := m.NewShardedRanker(shard.Options{Shards: *shards, ShardTimeout: *shardTO})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Ranker = ranker
+		log.Printf("sharded ranking engine built: %d shards, shard timeout %v", ranker.NumShards(), *shardTO)
 	}
 	srv, err := serve.New(cfg)
 	if err != nil {

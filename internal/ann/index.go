@@ -49,17 +49,33 @@ func New(points [][]float64, cfg Config) *Index {
 		return &Index{}
 	}
 	dim := len(points[0])
+	flat := make([]float64, 0, len(points)*dim)
+	for _, p := range points {
+		flat = append(flat, p...)
+	}
+	return NewFlat(flat, dim, 0, cfg)
+}
+
+// NewFlat builds an index over a row-major angle table (entity i's vector
+// is data[i*dim : (i+1)*dim]), assigning entity i the global ID base+i.
+// The base offset lets a shard index its contiguous slice of a larger
+// entity table while reporting table-global candidate IDs.
+func NewFlat(data []float64, dim int, base kg.EntityID, cfg Config) *Index {
+	if len(data) == 0 || dim <= 0 {
+		return &Index{}
+	}
+	n := len(data) / dim
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	ix := &Index{numEnts: len(points)}
+	ix := &Index{numEnts: n}
 	for b := 0; b < cfg.Bands; b++ {
 		bd := band{
 			dim:     rng.Intn(dim),
 			width:   geometry.TwoPi / float64(cfg.BucketsPerBand),
 			buckets: make(map[int][]kg.EntityID),
 		}
-		for e, p := range points {
-			k := bd.key(p[bd.dim])
-			bd.buckets[k] = append(bd.buckets[k], kg.EntityID(e))
+		for e := 0; e < n; e++ {
+			k := bd.key(data[e*dim+bd.dim])
+			bd.buckets[k] = append(bd.buckets[k], base+kg.EntityID(e))
 		}
 		ix.bands = append(ix.bands, bd)
 	}

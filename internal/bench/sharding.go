@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+// shardSweep is the default shard-count sweep of the Sharding
+// experiment; Config.Shards overrides it with a single count.
+func shardSweep() []int {
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// Sharding measures the scatter-gather ranking engine against the
+// single-threaded full scan: per-query exact top-10 latency over the 2i
+// workload, per shard count, with an answer-agreement check (the
+// engine's contract is byte-identical results regardless of shard
+// count). Speedups come from two sources — parallel shard scans
+// (needs >1 core) and heap-bound pruning, which cuts work on any core
+// count because a full scan scores every entity while the sharded scan
+// abandons an entity as soon as its partial sum exceeds the current
+// k-th best.
+func (s *Suite) Sharding() *Table {
+	const k = 10
+	ds := s.Dataset("FB237")
+	m, _ := s.Model(ds, "HaLk")
+	hk := m.(*halk.Model)
+	w := s.Workload(ds, "2i")
+
+	t := &Table{
+		ID: "Sharding",
+		Title: fmt.Sprintf("Sharded top-%d ranking vs full scan (%s, 2i, %d queries, GOMAXPROCS=%d)",
+			k, ds.Name, len(w), runtime.GOMAXPROCS(0)),
+		Header: []string{"Ranker", "Shards", "µs/query", "Speedup", "Exact"},
+	}
+
+	// Baseline: the single-threaded full scan behind Model.TopK.
+	for i := range w {
+		m.Distances(w[i].Root) // warm the trig cache
+		break
+	}
+	base := time.Duration(0)
+	baseline := make([][]int32, len(w))
+	start := time.Now()
+	for i := range w {
+		ids := hk.TopK(w[i].Root, k)
+		baseline[i] = make([]int32, len(ids))
+		for j, e := range ids {
+			baseline[i][j] = int32(e)
+		}
+	}
+	base = time.Since(start)
+	perBase := float64(base.Microseconds()) / float64(len(w))
+	t.Rows = append(t.Rows, []string{"full scan", "-", fmt.Sprintf("%.0f", perBase), "1.00x", "yes"})
+
+	counts := shardSweep()
+	if s.cfg.Shards > 0 {
+		counts = []int{s.cfg.Shards}
+	}
+	ctx := context.Background()
+	for _, n := range counts {
+		r, err := hk.NewShardedRanker(shard.Options{Shards: n})
+		if err != nil {
+			s.logf("sharding: %v", err)
+			continue
+		}
+		if _, err := r.RankTopK(ctx, w[0].Root, k); err != nil { // warm
+			s.logf("sharding: warm query: %v", err)
+			continue
+		}
+		exact := true
+		start := time.Now()
+		for i := range w {
+			res, err := r.RankTopK(ctx, w[i].Root, k)
+			if err != nil {
+				s.logf("sharding: shards=%d query %d: %v", n, i, err)
+				exact = false
+				continue
+			}
+			if len(res.IDs) != len(baseline[i]) {
+				exact = false
+				continue
+			}
+			for j, e := range res.IDs {
+				if int32(e) != baseline[i][j] {
+					exact = false
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		per := float64(elapsed.Microseconds()) / float64(len(w))
+		agree := "yes"
+		if !exact {
+			agree = "NO"
+		}
+		t.Rows = append(t.Rows, []string{
+			"sharded", fmt.Sprintf("%d", n), fmt.Sprintf("%.0f", per),
+			fmt.Sprintf("%.2fx", perBase/per), agree,
+		})
+	}
+	return t
+}

@@ -102,7 +102,7 @@ func (ai *AnswerIndex) PoolSize(n *query.Node) int {
 // prepared arcs.
 func (m *Model) scoreOne(e kg.EntityID, arcs []preArc) float64 {
 	d := m.cfg.Dim
-	cosT, sinT := m.trig.tables(m.ent.Data)
+	cosT, sinT := m.trig.tables(m.ent.Data, m.EntityVersion())
 	base := int(e) * d
 	best := math.Inf(1)
 	for ai := range arcs {
@@ -110,14 +110,14 @@ func (m *Model) scoreOne(e kg.EntityID, arcs []preArc) float64 {
 		sum := 0.0
 		for j := 0; j < d; j++ {
 			cp, sp := cosT[base+j], sinT[base+j]
-			cs := cp*pa.cosS[j] + sp*pa.sinS[j]
-			ce := cp*pa.cosE[j] + sp*pa.sinE[j]
-			cc := cp*pa.cosC[j] + sp*pa.sinC[j]
+			cs := cp*pa.CosS[j] + sp*pa.SinS[j]
+			ce := cp*pa.CosE[j] + sp*pa.SinE[j]
+			cc := cp*pa.CosC[j] + sp*pa.SinC[j]
 			do := halfSin(math.Max(cs, ce))
-			di := math.Min(halfSin(cc), pa.sh[j])
+			di := math.Min(halfSin(cc), pa.SH[j])
 			sum += 2 * m.cfg.Rho * (do + m.cfg.Eta*di)
 		}
-		if s := sum + m.groupPenalty(e, pa.hot); s < best {
+		if s := sum + m.groupPenalty(e, pa.Hot); s < best {
 			best = s
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/shard"
 )
 
 // trigCache memoises cos/sin of every entity angle so that online
@@ -14,8 +15,11 @@ import (
 // |sin((p−s)/2)| = sqrt((1 − cos(p−s))/2) with
 // cos(p−s) = cos p·cos s + sin p·sin s.
 //
-// The cache is invalidated by fingerprinting the entity table, so it
-// stays correct when ranking interleaves with training.
+// Staleness is detected through the model's monotonic entity version
+// (see Model.EntityVersion): SetEntityAngles and training steps bump the
+// counter, and the cache rebuilds when the version it was built at no
+// longer matches — an O(1) check per ranked query, replacing the
+// O(|E|·d) full-table fingerprint this cache used to rehash every time.
 //
 // Invalidation is copy-on-invalidate: a rebuild fills fresh slices and
 // swaps them in under the mutex, never rewriting the previously returned
@@ -23,20 +27,19 @@ import (
 // for as long as a caller holds them, even if another goroutine
 // invalidates the cache mid-scan.
 type trigCache struct {
-	mu   sync.Mutex
-	hash uint64
-	cos  []float64
-	sin  []float64
+	mu      sync.Mutex
+	version uint64 // entity version the tables were built at; 0 = never
+	cos     []float64
+	sin     []float64
 }
 
-// tables returns up-to-date cos/sin tables for the entity data. The
-// returned slices are read-only snapshots: they are never mutated after
-// being returned.
-func (tc *trigCache) tables(data []float64) (cosT, sinT []float64) {
-	h := fnv64(data)
+// tables returns cos/sin tables for the entity data as of the given
+// entity version. The returned slices are read-only snapshots: they are
+// never mutated after being returned.
+func (tc *trigCache) tables(data []float64, version uint64) (cosT, sinT []float64) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	if tc.hash != h || len(tc.cos) != len(data) {
+	if tc.version != version || len(tc.cos) != len(data) {
 		cos := make([]float64, len(data))
 		sin := make([]float64, len(data))
 		for i, a := range data {
@@ -44,54 +47,23 @@ func (tc *trigCache) tables(data []float64) (cosT, sinT []float64) {
 			sin[i] = math.Sin(a)
 		}
 		tc.cos, tc.sin = cos, sin
-		tc.hash = h
+		tc.version = version
 	}
 	return tc.cos, tc.sin
 }
 
-func fnv64(data []float64) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for _, f := range data {
-		b := math.Float64bits(f)
-		for s := 0; s < 64; s += 16 {
-			h ^= (b >> s) & 0xffff
-			h *= prime
-		}
-	}
-	return h
-}
-
-// preArc is a query arc prepared for fast scoring.
-type preArc struct {
-	cosS, sinS []float64
-	cosE, sinE []float64
-	cosC, sinC []float64
-	sh         []float64 // |sin(L/(4ρ))| — half-arc bound of d_i
-	hot        []float64
-}
+// preArc is a query arc prepared for fast scoring; it is the shard
+// engine's prepared-arc type, so the single-node path and the sharded
+// path share one preparation (and therefore identical float behaviour).
+type preArc = shard.Arc
 
 func (m *Model) prepareArc(a ValueArc) preArc {
-	d := m.cfg.Dim
-	p := preArc{
-		cosS: make([]float64, d), sinS: make([]float64, d),
-		cosE: make([]float64, d), sinE: make([]float64, d),
-		cosC: make([]float64, d), sinC: make([]float64, d),
-		sh:  make([]float64, d),
-		hot: a.Hot,
-	}
-	for j := 0; j < d; j++ {
-		s := a.C[j] - a.L[j]/(2*m.cfg.Rho)
-		e := a.C[j] + a.L[j]/(2*m.cfg.Rho)
-		p.cosS[j], p.sinS[j] = math.Cos(s), math.Sin(s)
-		p.cosE[j], p.sinE[j] = math.Cos(e), math.Sin(e)
-		p.cosC[j], p.sinC[j] = math.Cos(a.C[j]), math.Sin(a.C[j])
-		p.sh[j] = math.Abs(math.Sin(a.L[j] / (4 * m.cfg.Rho)))
-	}
-	return p
+	return shard.PrepareArc(m.shardParams(), a.C, a.L, a.Hot)
+}
+
+// shardParams exports the scoring constants in the shard engine's form.
+func (m *Model) shardParams() shard.Params {
+	return shard.Params{Dim: m.cfg.Dim, Rho: m.cfg.Rho, Eta: m.cfg.Eta, Xi: m.cfg.Xi}
 }
 
 // halfSin returns |sin(Δ/2)| from cos Δ, clamped against rounding.
@@ -116,7 +88,7 @@ const ctxCheckStride = 1024
 // ctxCheckStride entities so long scans can be abandoned mid-flight.
 func (m *Model) fastDistances(ctx context.Context, arcs []preArc) ([]float64, error) {
 	d := m.cfg.Dim
-	cosT, sinT := m.trig.tables(m.ent.Data)
+	cosT, sinT := m.trig.tables(m.ent.Data, m.EntityVersion())
 	twoRho := 2 * m.cfg.Rho
 	out := make([]float64, m.graph.NumEntities())
 	for e := range out {
@@ -132,14 +104,14 @@ func (m *Model) fastDistances(ctx context.Context, arcs []preArc) ([]float64, er
 			sum := 0.0
 			for j := 0; j < d; j++ {
 				cp, sp := cosT[base+j], sinT[base+j]
-				cs := cp*pa.cosS[j] + sp*pa.sinS[j]
-				ce := cp*pa.cosE[j] + sp*pa.sinE[j]
-				cc := cp*pa.cosC[j] + sp*pa.sinC[j]
+				cs := cp*pa.CosS[j] + sp*pa.SinS[j]
+				ce := cp*pa.CosE[j] + sp*pa.SinE[j]
+				cc := cp*pa.CosC[j] + sp*pa.SinC[j]
 				do := halfSin(math.Max(cs, ce)) // min sin == max cos
-				di := math.Min(halfSin(cc), pa.sh[j])
+				di := math.Min(halfSin(cc), pa.SH[j])
 				sum += twoRho * (do + m.cfg.Eta*di)
 			}
-			if s := sum + m.groupPenalty(kg.EntityID(e), pa.hot); s < best {
+			if s := sum + m.groupPenalty(kg.EntityID(e), pa.Hot); s < best {
 				best = s
 			}
 		}

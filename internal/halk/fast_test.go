@@ -39,9 +39,10 @@ func TestTrigCacheInvalidation(t *testing.T) {
 		t.Fatal("sampling failed")
 	}
 	before := m.Distances(q)
-	// Mutate an entity embedding (as a training step would) and check the
-	// fast path notices.
+	// Mutate an entity embedding out of band (as a parameter load would)
+	// and announce it; the version-keyed cache must rebuild.
 	m.ent.Data[0] += 1.0
+	m.MarkEntitiesUpdated()
 	after := m.Distances(q)
 	same := true
 	for e := range before {
@@ -56,6 +57,7 @@ func TestTrigCacheInvalidation(t *testing.T) {
 	}
 	// restore and confirm we get the original values back
 	m.ent.Data[0] -= 1.0
+	m.MarkEntitiesUpdated()
 	restored := m.Distances(q)
 	for e := range before {
 		if math.Abs(before[e]-restored[e]) > 1e-12 {
@@ -64,14 +66,23 @@ func TestTrigCacheInvalidation(t *testing.T) {
 	}
 }
 
-func TestFnv64Distinguishes(t *testing.T) {
-	a := []float64{1, 2, 3}
-	b := []float64{1, 2, 3.0000001}
-	if fnv64(a) == fnv64(b) {
-		t.Error("fingerprint collision on nearby vectors")
+func TestEntityVersionBumps(t *testing.T) {
+	m, _ := testModel(t, 43)
+	v0 := m.EntityVersion()
+	if v0 == 0 {
+		t.Fatal("fresh model must start at a nonzero entity version")
 	}
-	if fnv64(a) != fnv64([]float64{1, 2, 3}) {
-		t.Error("fingerprint not deterministic")
+	angles := append([]float64(nil), m.EntityAngles(0)...)
+	if err := m.SetEntityAngles(0, angles); err != nil {
+		t.Fatalf("SetEntityAngles: %v", err)
+	}
+	if v := m.EntityVersion(); v <= v0 {
+		t.Fatalf("SetEntityAngles did not bump version: %d -> %d", v0, v)
+	}
+	v1 := m.EntityVersion()
+	m.MarkEntitiesUpdated()
+	if v := m.EntityVersion(); v <= v1 {
+		t.Fatalf("MarkEntitiesUpdated did not bump version: %d -> %d", v1, v)
 	}
 }
 
@@ -171,7 +182,7 @@ func BenchmarkFastDistances(b *testing.B) {
 	for i, a := range arcs {
 		pre[i] = m.prepareArc(a)
 	}
-	m.trig.tables(m.ent.Data) // warm the cache
+	m.trig.tables(m.ent.Data, m.EntityVersion()) // warm the cache
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -93,6 +93,11 @@ func (m *Model) scoreEntities(t *autodiff.Tape, es []kg.EntityID, arcs []Arc) au
 // for one query instance, with one positive answer and negSamples
 // negatives.
 func (m *Model) Loss(t *autodiff.Tape, q *query.Query, negSamples int, rng *rand.Rand) (autodiff.V, bool) {
+	// Every loss build precedes an optimizer step that mutates the entity
+	// table, so bump the entity version here: the next ranking after any
+	// training activity sees a version change and rebuilds its caches.
+	// Over-bumping (e.g. on a skipped instance) only costs a rebuild.
+	m.entVersion.Add(1)
 	pos, ok := model.SamplePositive(q.Answers, rng)
 	if !ok {
 		return autodiff.V{}, false

@@ -3,6 +3,7 @@ package halk
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"github.com/halk-kg/halk/internal/autodiff"
 	"github.com/halk-kg/halk/internal/geometry"
@@ -42,6 +43,13 @@ type Model struct {
 	negC, negA           *autodiff.MLP    // Eq. 14 output heads
 
 	trig trigCache // entity cos/sin memo for online ranking
+
+	// entVersion is the monotonic version of the entity table: it starts
+	// at 1 and is bumped by SetEntityAngles, by every training-loss build
+	// (the steps that mutate embeddings), and by MarkEntitiesUpdated.
+	// The trig cache and the sharded ranking engine compare it instead of
+	// fingerprinting the table, so staleness detection is O(1) per query.
+	entVersion atomic.Uint64
 
 	// rankMu serialises online ranking (read side) against the
 	// thread-safe entity-table updates of SetEntityAngles (write side).
@@ -92,8 +100,22 @@ func New(g *kg.Graph, cfg Config) *Model {
 	// length head is residual around the rotated length and needs no
 	// bias steering.
 	m.projV3.SetOutputBias(-2)
+	m.entVersion.Store(1)
 	return m
 }
+
+// EntityVersion returns the monotonic version of the entity table; any
+// change to entity embeddings is preceded or followed by a bump, so
+// equal versions imply equal tables. Consumers (trig cache, sharded
+// engine snapshots, serving answer caches) compare versions instead of
+// hashing the table.
+func (m *Model) EntityVersion() uint64 { return m.entVersion.Load() }
+
+// MarkEntitiesUpdated bumps the entity version after an out-of-band
+// mutation of the entity table (e.g. loading parameters in place, or a
+// test poking rows directly). SetEntityAngles and the training loss
+// bump it automatically.
+func (m *Model) MarkEntitiesUpdated() { m.entVersion.Add(1) }
 
 // Name implements model.Interface; ablation variants report their
 // Table V name.

@@ -52,6 +52,7 @@ func (m *Model) SetEntityAngles(e kg.EntityID, angles []float64) error {
 	}
 	m.rankMu.Lock()
 	copy(m.ent.Row(int(e)), angles)
+	m.entVersion.Add(1)
 	m.rankMu.Unlock()
 	return nil
 }

@@ -1,0 +1,109 @@
+package halk
+
+import (
+	"context"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+// ShardedRanker answers ranking queries through the scatter-gather shard
+// engine instead of the single-threaded full scan: the entity table is
+// partitioned into contiguous-ID shards, each scanned concurrently with a
+// bounded top-K heap, and the per-shard winners are merged. Results are
+// byte-identical to Model.TopK for the same snapshot.
+//
+// The ranker holds versioned immutable snapshots of the entity table
+// (see shard.Engine): queries rank against the snapshot current when
+// they start, and Refresh publishes a new one atomically after entity
+// updates. Build one with Model.NewShardedRanker after training and call
+// Refresh whenever EntityVersion has moved.
+type ShardedRanker struct {
+	m   *Model
+	eng *shard.Engine
+}
+
+// NewShardedRanker builds a sharded ranking engine over the model's
+// current entity table. shards < 1 means one shard; opts.ANN non-nil
+// additionally builds per-shard LSH bucket indexes enabling
+// TopKApprox. The initial snapshot is published before returning.
+func (m *Model) NewShardedRanker(opts shard.Options) (*ShardedRanker, error) {
+	eng := shard.NewEngine(m.shardParams(), opts)
+	r := &ShardedRanker{m: m, eng: eng}
+	if err := r.Refresh(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Refresh publishes a fresh snapshot of the entity table if its version
+// has moved past the engine's current snapshot. Safe to call
+// concurrently with ranking: in-flight queries finish on the snapshot
+// they started with. Returns nil without work when already current.
+func (r *ShardedRanker) Refresh() error {
+	ver := r.m.EntityVersion()
+	if ver <= r.eng.Version() {
+		return nil
+	}
+	// Copy the table under the ranking read-lock so no row is observed
+	// half-written by a concurrent SetEntityAngles.
+	r.m.rankMu.RLock()
+	angles := append([]float64(nil), r.m.ent.Data...)
+	// Re-read the version while still holding the lock: if an update
+	// raced in between the first load and the lock, the copy may already
+	// contain it — stamping the later version is correct either way
+	// because the copy is at least as new as `ver`.
+	ver = r.m.EntityVersion()
+	r.m.rankMu.RUnlock()
+
+	n := r.m.graph.NumEntities()
+	group := make([]int32, n)
+	for e := 0; e < n; e++ {
+		group[e] = int32(r.m.groups.GroupOf(kg.EntityID(e)))
+	}
+	return r.eng.Swap(shard.Source{Angles: angles, Group: group, Version: ver})
+}
+
+// RankTopK embeds the query and ranks the k best answers through the
+// shard engine. Embedding takes the model's ranking read-lock (it reads
+// live parameters); the scan itself runs lock-free against the current
+// snapshot. Per-shard deadlines may yield a partial result — see
+// shard.Result.
+func (r *ShardedRanker) RankTopK(ctx context.Context, n *query.Node, k int) (*shard.Result, error) {
+	arcs := r.prepare(n)
+	return r.eng.TopK(ctx, arcs, k)
+}
+
+// RankTopKApprox is the ANN-accelerated variant: each shard ranks only
+// its bucket-index candidates. Requires Options.ANN at engine build.
+func (r *ShardedRanker) RankTopKApprox(ctx context.Context, n *query.Node, k int) (*shard.Result, error) {
+	arcs := r.prepare(n)
+	return r.eng.TopKApprox(ctx, arcs, k)
+}
+
+// PoolSize reports the total ANN candidate-pool size across shards for
+// the query (the work TopKApprox would do).
+func (r *ShardedRanker) PoolSize(n *query.Node) int {
+	return r.eng.PoolSize(r.prepare(n))
+}
+
+func (r *ShardedRanker) prepare(n *query.Node) []shard.Arc {
+	r.m.rankMu.RLock()
+	defer r.m.rankMu.RUnlock()
+	arcs := r.m.EmbedQuery(n)
+	pre := make([]shard.Arc, len(arcs))
+	for i, a := range arcs {
+		pre[i] = r.m.prepareArc(a)
+	}
+	return pre
+}
+
+// NumShards reports the engine's shard count.
+func (r *ShardedRanker) NumShards() int { return r.eng.NumShards() }
+
+// SnapshotVersion reports the entity version of the published snapshot.
+func (r *ShardedRanker) SnapshotVersion() uint64 { return r.eng.Version() }
+
+// ShardStats reports per-shard scan counters for observability.
+func (r *ShardedRanker) ShardStats() []shard.ShardStats { return r.eng.Stats() }

@@ -1,0 +1,125 @@
+package halk
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+// TestShardedRankerMatchesTopK asserts the scatter-gather path returns
+// exactly the same answers (IDs and order) as the single-threaded full
+// scan, across shard counts that do and do not divide the entity count.
+func TestShardedRankerMatchesTopK(t *testing.T) {
+	m, ds := testModel(t, 61)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(62)))
+	for _, shards := range []int{1, 2, 7} {
+		r, err := m.NewShardedRanker(shard.Options{Shards: shards})
+		if err != nil {
+			t.Fatalf("NewShardedRanker(%d): %v", shards, err)
+		}
+		if r.NumShards() != shards {
+			t.Fatalf("NumShards = %d, want %d", r.NumShards(), shards)
+		}
+		for _, structure := range []string{"1p", "2i", "2u", "dp"} {
+			q, ok := s.Sample(structure)
+			if !ok {
+				t.Fatalf("sampling %s failed", structure)
+			}
+			const k = 15
+			want := m.TopK(q, k)
+			got, err := r.RankTopK(context.Background(), q, k)
+			if err != nil {
+				t.Fatalf("shards=%d %s: RankTopK: %v", shards, structure, err)
+			}
+			if got.Partial {
+				t.Fatalf("shards=%d %s: unexpected partial result", shards, structure)
+			}
+			if len(got.IDs) != len(want) {
+				t.Fatalf("shards=%d %s: got %d answers, want %d", shards, structure, len(got.IDs), len(want))
+			}
+			for i := range want {
+				if got.IDs[i] != want[i] {
+					t.Fatalf("shards=%d %s: answer %d = %d, want %d", shards, structure, i, got.IDs[i], want[i])
+				}
+			}
+			// Returned distances must be the exact full-scan distances.
+			dist := m.Distances(q)
+			for i, id := range got.IDs {
+				if got.Dists[i] != dist[id] {
+					t.Fatalf("shards=%d %s: dist[%d] = %v, want %v", shards, structure, i, got.Dists[i], dist[id])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRankerRefresh asserts Refresh picks up entity updates and
+// that stale rankers keep serving the old snapshot until refreshed.
+func TestShardedRankerRefresh(t *testing.T) {
+	m, ds := testModel(t, 63)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(64)))
+	q, ok := s.Sample("1p")
+	if !ok {
+		t.Fatal("sampling failed")
+	}
+	r, err := m.NewShardedRanker(shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatalf("NewShardedRanker: %v", err)
+	}
+	v0 := r.SnapshotVersion()
+	if v0 != m.EntityVersion() {
+		t.Fatalf("initial snapshot version %d != model entity version %d", v0, m.EntityVersion())
+	}
+
+	before, err := r.RankTopK(context.Background(), q, 5)
+	if err != nil {
+		t.Fatalf("RankTopK: %v", err)
+	}
+
+	// Move the best answer far away; the un-refreshed ranker must keep
+	// answering from its old snapshot.
+	moved := before.IDs[0]
+	angles := append([]float64(nil), m.EntityAngles(moved)...)
+	for j := range angles {
+		angles[j] += 2.5
+	}
+	if err := m.SetEntityAngles(moved, angles); err != nil {
+		t.Fatalf("SetEntityAngles: %v", err)
+	}
+	stale, err := r.RankTopK(context.Background(), q, 5)
+	if err != nil {
+		t.Fatalf("RankTopK (stale): %v", err)
+	}
+	if stale.Version != v0 {
+		t.Fatalf("un-refreshed ranker served version %d, want %d", stale.Version, v0)
+	}
+
+	if err := r.Refresh(); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if r.SnapshotVersion() <= v0 {
+		t.Fatalf("Refresh did not advance snapshot version past %d", v0)
+	}
+	after, err := r.RankTopK(context.Background(), q, 5)
+	if err != nil {
+		t.Fatalf("RankTopK (refreshed): %v", err)
+	}
+	// The refreshed sharded ranking must again match the live full scan.
+	want := m.TopK(q, 5)
+	for i := range want {
+		if after.IDs[i] != want[i] {
+			t.Fatalf("refreshed answer %d = %d, want %d", i, after.IDs[i], want[i])
+		}
+	}
+	// Refresh with no change is a no-op.
+	v1 := r.SnapshotVersion()
+	if err := r.Refresh(); err != nil {
+		t.Fatalf("idempotent Refresh: %v", err)
+	}
+	if r.SnapshotVersion() != v1 {
+		t.Fatal("Refresh without entity updates rebuilt the snapshot")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/shard"
 	"github.com/halk-kg/halk/internal/sparql"
 )
 
@@ -48,14 +49,19 @@ type Answer struct {
 
 // queryResponse is the POST /v1/query reply.
 type queryResponse struct {
-	Query     string   `json:"query"`
-	Canonical string   `json:"canonical"`
-	Structure string   `json:"structure,omitempty"`
-	Mode      string   `json:"mode"`
-	K         int      `json:"k"`
-	Cached    bool     `json:"cached"`
-	ElapsedMs float64  `json:"elapsed_ms"`
-	Answers   []Answer `json:"answers"`
+	Query     string  `json:"query"`
+	Canonical string  `json:"canonical"`
+	Structure string  `json:"structure,omitempty"`
+	Mode      string  `json:"mode"`
+	K         int     `json:"k"`
+	Cached    bool    `json:"cached"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Partial marks a sharded response in which one or more shards
+	// missed their deadline: Answers covers only the shards listed in
+	// ShardsAnswered. Partial responses are never cached.
+	Partial        bool     `json:"partial,omitempty"`
+	ShardsAnswered []int    `json:"shards_answered,omitempty"`
+	Answers        []Answer `json:"answers"`
 }
 
 type errorResponse struct {
@@ -126,7 +132,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	canonical := query.CanonicalKey(root)
-	cacheKey := fmt.Sprintf("%s|%s|k=%d", canonical, mode, k)
+	cacheKey := fmt.Sprintf("v%d|%s|%s|k=%d", s.answerVersion(mode), canonical, mode, k)
 	resp := queryResponse{
 		Query:     root.String(),
 		Canonical: canonical,
@@ -144,14 +150,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var answers []Answer
+	var sharded *shard.Result
 	var rankErr error
 	poolErr := s.pool.Do(ctx, func() {
-		answers, rankErr = s.rank(ctx, root, k, mode)
+		answers, sharded, rankErr = s.rank(ctx, root, k, mode)
 	})
 	if err := firstErr(poolErr, rankErr); err != nil {
 		switch {
 		case errors.Is(err, errPoolClosed):
 			fail(http.StatusServiceUnavailable, "server is draining")
+		case errors.Is(err, shard.ErrAllShardsSkipped):
+			fail(http.StatusGatewayTimeout, "every shard missed its deadline")
 		case errors.Is(err, context.DeadlineExceeded):
 			fail(http.StatusGatewayTimeout, "query exceeded its %v deadline", timeout)
 		default:
@@ -160,7 +169,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.cache.Put(cacheKey, answers)
+	if sharded != nil && sharded.Partial {
+		// A partial ranking is a degraded answer, valid for this response
+		// only: caching it would keep serving the degraded list even once
+		// the slow shard recovers.
+		resp.Partial = true
+		resp.ShardsAnswered = sharded.Answered
+	} else {
+		s.cache.Put(cacheKey, answers)
+	}
 	resp.Answers = answers
 	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
 	writeJSON(w, http.StatusOK, resp)
@@ -216,9 +233,25 @@ func (s *Server) compile(req *queryRequest) (*query.Node, error) {
 	}
 }
 
+// answerVersion is the entity-table version the given mode answers
+// from, used to namespace cache keys: updating the embeddings bumps the
+// version, so stale cached answers become unreachable instead of being
+// served. Sharded exact answers come from the ranker's snapshot; all
+// other paths read the live model table.
+func (s *Server) answerVersion(mode string) uint64 {
+	if mode == "exact" && s.cfg.Ranker != nil {
+		return s.cfg.Ranker.SnapshotVersion()
+	}
+	if ev, ok := s.cfg.Model.(EntityVersioner); ok {
+		return ev.EntityVersion()
+	}
+	return 0
+}
+
 // rank runs on a pool worker: one query embedding plus one entity
-// ranking, exact or ANN-pruned.
-func (s *Server) rank(ctx context.Context, root *query.Node, k int, mode string) ([]Answer, error) {
+// ranking — sharded scatter-gather, single-threaded exact, or
+// ANN-pruned. The *shard.Result is non-nil only on the sharded path.
+func (s *Server) rank(ctx context.Context, root *query.Node, k int, mode string) ([]Answer, *shard.Result, error) {
 	if mode == "approx" {
 		ids := s.cfg.Approx.TopKApprox(root, k)
 		s.metrics.observePool(s.cfg.Approx.PoolSize(root))
@@ -226,7 +259,20 @@ func (s *Server) rank(ctx context.Context, root *query.Node, k int, mode string)
 		for i, e := range ids {
 			answers[i] = Answer{ID: e, Entity: s.cfg.Entities.Name(int32(e))}
 		}
-		return answers, nil
+		return answers, nil, nil
+	}
+
+	if s.cfg.Ranker != nil {
+		res, err := s.cfg.Ranker.RankTopK(ctx, root, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		answers := make([]Answer, len(res.IDs))
+		for i, e := range res.IDs {
+			dist := res.Dists[i]
+			answers[i] = Answer{ID: e, Entity: s.cfg.Entities.Name(int32(e)), Distance: &dist}
+		}
+		return answers, res, nil
 	}
 
 	var d []float64
@@ -237,9 +283,9 @@ func (s *Server) rank(ctx context.Context, root *query.Node, k int, mode string)
 		d = s.cfg.Model.Distances(root)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return s.topK(d, k), nil
+	return s.topK(d, k), nil, nil
 }
 
 // topK selects the k lowest-distance entities, most likely answers
@@ -294,12 +340,17 @@ type statsResponse struct {
 	Cache     cacheStats                  `json:"cache"`
 	ApproxOn  bool                        `json:"approx_enabled"`
 	Pool      poolSnapshot                `json:"candidate_pool"`
+	// NumShards and Shards describe the sharded ranking engine when one
+	// is configured: shard count, ID ranges, scan counts, deadline skips
+	// and scan-latency summaries per shard.
+	NumShards int                `json:"num_shards,omitempty"`
+	Shards    []shard.ShardStats `json:"shards,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	endpoints, pool, uptime := s.metrics.snapshot()
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Model:     s.cfg.Model.Name(),
 		Entities:  s.cfg.Entities.Len(),
 		UptimeS:   uptime,
@@ -308,6 +359,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:     s.cache.stats(),
 		ApproxOn:  s.cfg.Approx != nil,
 		Pool:      pool,
-	})
+	}
+	if s.cfg.Ranker != nil {
+		resp.NumShards = s.cfg.Ranker.NumShards()
+		resp.Shards = s.cfg.Ranker.ShardStats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 	s.metrics.observe("/v1/stats", time.Since(start), false)
 }

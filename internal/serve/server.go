@@ -27,6 +27,7 @@ import (
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/model"
 	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/shard"
 	"github.com/halk-kg/halk/internal/sparql"
 )
 
@@ -37,6 +38,35 @@ import (
 // queue wait, not the scan itself).
 type ContextRanker interface {
 	DistancesContext(ctx context.Context, n *query.Node) ([]float64, error)
+}
+
+// Ranker is the scatter-gather ranking interface of the sharded exact
+// path; halk.ShardedRanker implements it. When Config.Ranker is set,
+// "exact" requests rank through it instead of the single-threaded full
+// scan: each shard scans concurrently under its own deadline, and a
+// missed shard degrades the response to a partial result instead of
+// failing the request.
+type Ranker interface {
+	// RankTopK ranks the k best answers; Result carries exact distances,
+	// the snapshot version answered from, and partial-result metadata.
+	RankTopK(ctx context.Context, n *query.Node, k int) (*shard.Result, error)
+	// SnapshotVersion is the entity version of the published snapshot;
+	// the answer cache namespaces its keys by it.
+	SnapshotVersion() uint64
+	// NumShards reports the engine's shard count (exported at /v1/stats).
+	NumShards() int
+	// ShardStats reports per-shard scan counters (exported at /v1/stats).
+	ShardStats() []shard.ShardStats
+}
+
+// EntityVersioner is the optional model upgrade that lets the answer
+// cache key entries by entity-table version, so an embedding update
+// (e.g. halk.Model.SetEntityAngles) implicitly invalidates every cached
+// answer computed from the old table. halk.Model implements it; for
+// models that don't, the cache falls back to version 0 and FlushCache
+// remains the only invalidation.
+type EntityVersioner interface {
+	EntityVersion() uint64
 }
 
 // ApproxAnswerer is the ANN-backed answering interface of the "approx"
@@ -65,6 +95,11 @@ type Config struct {
 	Graph *kg.Graph
 	// Approx, when set, enables the "approx" request mode.
 	Approx ApproxAnswerer
+	// Ranker, when set, serves "exact" requests through the sharded
+	// scatter-gather engine instead of Model.Distances. Results are
+	// identical to the full scan on the same snapshot; responses may be
+	// marked partial when shards miss their deadline.
+	Ranker Ranker
 	// Workers bounds ranking concurrency; 0 means GOMAXPROCS.
 	Workers int
 	// CacheSize is the LRU answer-cache capacity in entries; 0 means
@@ -145,9 +180,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Workers reports the resolved ranking-pool size.
 func (s *Server) Workers() int { return s.workers }
 
-// FlushCache drops every cached answer list. Call it after updating the
-// model's entity table (e.g. halk.Model.SetEntityAngles) so cached
-// answers cannot outlive the embeddings that produced them.
+// FlushCache drops every cached answer list. For models implementing
+// EntityVersioner (halk.Model does), embedding updates already make old
+// entries unreachable — cache keys are namespaced by entity version —
+// so this is only needed to reclaim memory or for models without
+// versioning.
 func (s *Server) FlushCache() { s.cache.Flush() }
 
 // Close drains the worker pool: in-flight rankings finish, queued and

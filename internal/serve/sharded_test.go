@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+// TestStaleAnswersNotServedAfterEntityUpdate is the regression test for
+// the cache-staleness bug: before version-namespaced cache keys, an
+// entity update left old answer lists in the cache and identical
+// follow-up queries were served embeddings-stale answers until an
+// explicit FlushCache.
+func TestStaleAnswersNotServedAfterEntityUpdate(t *testing.T) {
+	_, m, ds, ts := newTestServer(t, nil)
+	root := sampleQuery(t, ds, "1p", 9)
+	req := queryRequest{Structure: "1p", Seed: 9, K: 5}
+
+	first, code := postQuery(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if first.Cached {
+		t.Fatal("first query unexpectedly cached")
+	}
+	again, _ := postQuery(t, ts, req)
+	if !again.Cached {
+		t.Fatal("repeat query should hit the cache")
+	}
+
+	// Move the best answer's embedding far away — its distance, and
+	// likely the ranking, change. No FlushCache call.
+	moved := first.Answers[0].ID
+	angles := append([]float64(nil), m.EntityAngles(moved)...)
+	for j := range angles {
+		angles[j] += 2.5
+	}
+	if err := m.SetEntityAngles(moved, angles); err != nil {
+		t.Fatalf("SetEntityAngles: %v", err)
+	}
+
+	fresh, code := postQuery(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if fresh.Cached {
+		t.Fatal("query after entity update served a stale cached answer")
+	}
+	// The served answers must match a live ranking of the updated model.
+	want := m.TopK(root, 5)
+	for i := range want {
+		if fresh.Answers[i].ID != want[i] {
+			t.Fatalf("answer %d = %d, want %d (stale ranking?)", i, fresh.Answers[i].ID, want[i])
+		}
+	}
+	// And the new result is cacheable under the new version.
+	cached, _ := postQuery(t, ts, req)
+	if !cached.Cached {
+		t.Fatal("post-update repeat query should hit the cache under the new version")
+	}
+}
+
+// TestShardedServingMatchesModel serves exact queries through a real
+// ShardedRanker and checks the answers equal the model's own TopK, and
+// that /v1/stats reports per-shard counters.
+func TestShardedServingMatchesModel(t *testing.T) {
+	_, m, ds, ts := newTestServer(t, func(cfg *Config) {
+		r, err := cfg.Model.(*halk.Model).NewShardedRanker(shard.Options{Shards: 3})
+		if err != nil {
+			t.Fatalf("NewShardedRanker: %v", err)
+		}
+		cfg.Ranker = r
+	})
+	root := sampleQuery(t, ds, "2i", 7)
+
+	qr, code := postQuery(t, ts, queryRequest{Structure: "2i", Seed: 7, K: 12})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if qr.Partial {
+		t.Fatal("unexpected partial response")
+	}
+	want := m.TopK(root, 12)
+	if len(qr.Answers) != len(want) {
+		t.Fatalf("got %d answers, want %d", len(qr.Answers), len(want))
+	}
+	dist := m.Distances(root)
+	for i := range want {
+		if qr.Answers[i].ID != want[i] {
+			t.Fatalf("answer %d = %d, want %d", i, qr.Answers[i].ID, want[i])
+		}
+		if qr.Answers[i].Distance == nil || *qr.Answers[i].Distance != dist[want[i]] {
+			t.Fatalf("answer %d distance mismatch", i)
+		}
+	}
+	// Repeat is a cache hit even on the sharded path.
+	again, _ := postQuery(t, ts, queryRequest{Structure: "2i", Seed: 7, K: 12})
+	if !again.Cached {
+		t.Fatal("repeat sharded query should hit the cache")
+	}
+
+	stats := getStats(t, ts)
+	if stats.NumShards != 3 {
+		t.Fatalf("stats.NumShards = %d, want 3", stats.NumShards)
+	}
+	if len(stats.Shards) != 3 {
+		t.Fatalf("stats.Shards has %d entries, want 3", len(stats.Shards))
+	}
+	var scans uint64
+	for _, ss := range stats.Shards {
+		scans += ss.Scans
+	}
+	if scans == 0 {
+		t.Fatal("no shard scans recorded after a served query")
+	}
+}
+
+// stubRanker scripts sharded results, letting the handler's
+// partial-response behaviour be tested without timing dependence.
+type stubRanker struct {
+	results []*shard.Result
+	calls   int
+}
+
+func (s *stubRanker) RankTopK(ctx context.Context, n *query.Node, k int) (*shard.Result, error) {
+	if s.calls >= len(s.results) {
+		t := s.results[len(s.results)-1]
+		return t, nil
+	}
+	r := s.results[s.calls]
+	s.calls++
+	return r, nil
+}
+
+func (s *stubRanker) SnapshotVersion() uint64        { return 1 }
+func (s *stubRanker) NumShards() int                 { return 2 }
+func (s *stubRanker) ShardStats() []shard.ShardStats { return nil }
+
+// TestPartialResponseNotCached asserts a degraded (partial) sharded
+// response is surfaced with partial metadata and never stored in the
+// answer cache: once the slow shard recovers, the full answer is
+// recomputed rather than the degraded list being replayed.
+func TestPartialResponseNotCached(t *testing.T) {
+	d1, d2 := 0.25, 0.5
+	partial := &shard.Result{
+		IDs: []kg.EntityID{3}, Dists: []float64{d2},
+		Partial: true, Answered: []int{0}, Skipped: []int{1}, Version: 1,
+	}
+	full := &shard.Result{
+		IDs: []kg.EntityID{7, 3}, Dists: []float64{d1, d2},
+		Answered: []int{0, 1}, Version: 1,
+	}
+	stub := &stubRanker{results: []*shard.Result{partial, full}}
+	_, _, _, ts := newTestServer(t, func(cfg *Config) { cfg.Ranker = stub })
+
+	req := queryRequest{Structure: "1p", Seed: 11, K: 2}
+	got, code := postQuery(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !got.Partial {
+		t.Fatal("response not marked partial")
+	}
+	if len(got.ShardsAnswered) != 1 || got.ShardsAnswered[0] != 0 {
+		t.Fatalf("ShardsAnswered = %v, want [0]", got.ShardsAnswered)
+	}
+	if got.Cached {
+		t.Fatal("partial response claims to be cached")
+	}
+	if len(got.Answers) != 1 || got.Answers[0].ID != 3 {
+		t.Fatalf("partial answers = %+v, want the single degraded answer", got.Answers)
+	}
+
+	// The shard recovered: the same query must be recomputed (the partial
+	// list was not cached) and now returns the full ranking.
+	got2, _ := postQuery(t, ts, req)
+	if got2.Cached {
+		t.Fatal("second query served from cache: the partial response was cached")
+	}
+	if got2.Partial || len(got2.Answers) != 2 || got2.Answers[0].ID != 7 {
+		t.Fatalf("second response = %+v, want the full 2-answer ranking", got2)
+	}
+
+	// The full response is cacheable.
+	got3, _ := postQuery(t, ts, req)
+	if !got3.Cached {
+		t.Fatal("third query should hit the cache with the full answer")
+	}
+	if got3.Partial || len(got3.Answers) != 2 {
+		t.Fatalf("cached response = %+v, want the full ranking", got3)
+	}
+}

@@ -1,0 +1,286 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/halk-kg/halk/internal/ann"
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+// ErrNoSnapshot is returned by ranking calls before the first Swap.
+var ErrNoSnapshot = errors.New("shard: no snapshot published (call Swap first)")
+
+// ErrAllShardsSkipped is returned when every shard missed its deadline,
+// so not even a partial result exists.
+var ErrAllShardsSkipped = errors.New("shard: all shards missed their deadline")
+
+// Options configures an Engine.
+type Options struct {
+	// Shards is the number of partitions; values < 1 mean 1.
+	Shards int
+	// ANN, when non-nil, builds a per-shard bucket index on every Swap,
+	// enabling TopKApprox.
+	ANN *ann.Config
+	// ShardTimeout bounds each shard's local scan. A shard that misses it
+	// is skipped and the merged result is marked partial; 0 means shards
+	// are bounded only by the query context.
+	ShardTimeout time.Duration
+}
+
+// Engine is the sharded ranking engine. All methods are safe for
+// concurrent use; ranking never blocks Swap and vice versa.
+type Engine struct {
+	p            Params
+	n            int
+	annCfg       *ann.Config
+	shardTimeout time.Duration
+
+	snap   atomic.Pointer[snapshot]
+	swapMu sync.Mutex // serialises Swap; installs stay version-monotonic
+	stats  []shardStat
+	heaps  []sync.Pool // per-shard scratch heaps, reused across scans
+
+	// slow, when set, is called at the start of each shard scan — a test
+	// hook for injecting a wedged shard.
+	slow func(shardIdx int)
+}
+
+// NewEngine builds an engine over n shards; publish a table with Swap
+// before ranking.
+func NewEngine(p Params, opts Options) *Engine {
+	n := opts.Shards
+	if n < 1 {
+		n = 1
+	}
+	return &Engine{
+		p:            p,
+		n:            n,
+		annCfg:       opts.ANN,
+		shardTimeout: opts.ShardTimeout,
+		stats:        make([]shardStat, n),
+		heaps:        make([]sync.Pool, n),
+	}
+}
+
+// getHeap takes shard i's scratch heap from its pool (or allocates one)
+// and re-arms it for a k-bounded scan.
+func (e *Engine) getHeap(i, k int) *topK {
+	if h, ok := e.heaps[i].Get().(*topK); ok {
+		h.reset(k)
+		return h
+	}
+	return newTopK(k)
+}
+
+// NumShards reports the shard count.
+func (e *Engine) NumShards() int { return e.n }
+
+// Version reports the published snapshot's version (0 before the first
+// Swap).
+func (e *Engine) Version() uint64 {
+	if snap := e.snap.Load(); snap != nil {
+		return snap.version
+	}
+	return 0
+}
+
+// Swap builds a new sharded snapshot from src and publishes it
+// atomically: rankings that began before the swap finish on the old
+// snapshot, rankings that begin after see the new one. A src whose
+// version is not newer than the published snapshot is ignored (swaps
+// racing out of order cannot roll the table back).
+func (e *Engine) Swap(src Source) error {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	if cur := e.snap.Load(); cur != nil && src.Version <= cur.version {
+		return nil
+	}
+	snap, err := buildSnapshot(e.p, e.n, src, e.annCfg)
+	if err != nil {
+		return err
+	}
+	e.snap.Store(snap)
+	return nil
+}
+
+// Result is a merged global top-K.
+type Result struct {
+	// IDs are the best entities, most likely answers first; Dists are the
+	// matching distances.
+	IDs   []kg.EntityID
+	Dists []float64
+	// Partial is true when at least one shard missed its deadline;
+	// Answered and Skipped list the shard indices that did and did not
+	// contribute.
+	Partial  bool
+	Answered []int
+	Skipped  []int
+	// Version is the snapshot version the scan ran on.
+	Version uint64
+}
+
+// localTopK is one shard's contribution to a gather.
+type localTopK struct {
+	d       []float64
+	id      []int32
+	skipped bool
+}
+
+// TopK scatters the prepared arcs to every shard, scans all of them in
+// parallel and merges the local heaps into the global k best entities.
+// Scans poll ctx; a cancelled query returns ctx.Err(). Shards that miss
+// Options.ShardTimeout are skipped and the result is marked Partial.
+func (e *Engine) TopK(ctx context.Context, arcs []Arc, k int) (*Result, error) {
+	return e.run(ctx, arcs, k, false)
+}
+
+// TopKApprox is the ANN-pruned variant: each shard probes its bucket
+// index around the arc centers and scores only the candidate pool.
+// Requires Options.ANN.
+func (e *Engine) TopKApprox(ctx context.Context, arcs []Arc, k int) (*Result, error) {
+	if e.annCfg == nil {
+		return nil, fmt.Errorf("shard: TopKApprox requires Options.ANN")
+	}
+	return e.run(ctx, arcs, k, true)
+}
+
+// PoolSize reports how many candidates the per-shard ANN indexes would
+// return for the arcs — the work saved versus a full scan.
+func (e *Engine) PoolSize(arcs []Arc) int {
+	snap := e.snap.Load()
+	if snap == nil {
+		return 0
+	}
+	total := 0
+	for i := range snap.shards {
+		sd := &snap.shards[i]
+		if sd.index == nil {
+			continue
+		}
+		total += len(shardCandidates(sd, arcs))
+	}
+	return total
+}
+
+func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool) (*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("shard: k must be positive, got %d", k)
+	}
+	if len(arcs) == 0 {
+		return nil, fmt.Errorf("shard: no arcs to rank")
+	}
+	snap := e.snap.Load()
+	if snap == nil {
+		return nil, ErrNoSnapshot
+	}
+
+	// gbound is the shared pruning bound: the smallest full-heap root any
+	// shard has published so far. Any shard's local k-th best is an upper
+	// bound on the global k-th best, so every shard may prune against it.
+	var gbound atomicBound
+	gbound.init()
+
+	locals := make([]localTopK, len(snap.shards))
+	var wg sync.WaitGroup
+	for i := range snap.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.scanShard(ctx, snap, i, arcs, k, approx, &gbound, &locals[i])
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return mergeLocals(snap, locals, k)
+}
+
+// scanShard runs one shard's local top-K scan, honouring the per-shard
+// deadline and recording latency/skip counters.
+func (e *Engine) scanShard(ctx context.Context, snap *snapshot, i int, arcs []Arc, k int, approx bool, gbound *atomicBound, out *localTopK) {
+	sd := &snap.shards[i]
+	sctx := ctx
+	if e.shardTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, e.shardTimeout)
+		defer cancel()
+	}
+	if e.slow != nil {
+		e.slow(i)
+	}
+	start := time.Now()
+	h := e.getHeap(i, k)
+	var err error
+	if approx {
+		err = e.scanCandidates(sctx, sd, arcs, h, gbound)
+	} else {
+		err = e.scanRange(sctx, sd, arcs, h, gbound)
+	}
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		// The query context dying is handled at the gather (the whole
+		// request failed); only a shard-local deadline counts as a skip.
+		out.skipped = true
+		if ctx.Err() == nil {
+			e.stats[i].recordSkip()
+		}
+		e.heaps[i].Put(h)
+		return
+	}
+	out.d, out.id = h.sorted()
+	e.heaps[i].Put(h)
+	e.stats[i].record(elapsed)
+}
+
+// mergeLocals folds the per-shard sorted top-K lists into the global top
+// k, preserving the ascending (distance, ID) order of the scan paths.
+func mergeLocals(snap *snapshot, locals []localTopK, k int) (*Result, error) {
+	res := &Result{Version: snap.version}
+	total := 0
+	for i := range locals {
+		if locals[i].skipped {
+			res.Skipped = append(res.Skipped, i)
+			continue
+		}
+		res.Answered = append(res.Answered, i)
+		total += len(locals[i].d)
+	}
+	if len(res.Answered) == 0 {
+		return nil, ErrAllShardsSkipped
+	}
+	res.Partial = len(res.Skipped) > 0
+
+	// K-way merge of the sorted local lists by (distance, ID).
+	if k > total {
+		k = total
+	}
+	res.IDs = make([]kg.EntityID, 0, k)
+	res.Dists = make([]float64, 0, k)
+	heads := make([]int, len(locals))
+	for len(res.IDs) < k {
+		best := -1
+		for _, i := range res.Answered {
+			h := heads[i]
+			if h >= len(locals[i].d) {
+				continue
+			}
+			if best < 0 || locals[i].d[h] < locals[best].d[heads[best]] ||
+				(locals[i].d[h] == locals[best].d[heads[best]] && locals[i].id[h] < locals[best].id[heads[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		res.IDs = append(res.IDs, kg.EntityID(locals[best].id[heads[best]]))
+		res.Dists = append(res.Dists, locals[best].d[heads[best]])
+		heads[best]++
+	}
+	return res, nil
+}

@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+// ctxCheckStride is how many entities a shard scores between
+// context-cancellation checks — frequent enough to honour tight serving
+// deadlines, rare enough to stay off the hot loop's profile.
+const ctxCheckStride = 1024
+
+// pruneStride is how many dimensions accumulate between bound checks in
+// the inner scoring loop. Every distance term is non-negative, so once
+// the running sum exceeds the pruning bound the entity cannot enter the
+// top-K and the rest of the loop is skipped.
+const pruneStride = 8
+
+// atomicBound is a lock-free shared minimum over non-negative float64s
+// (their IEEE bit patterns order like the values, so a uint64 CAS-min
+// suffices).
+type atomicBound struct{ bits atomic.Uint64 }
+
+func (b *atomicBound) init()         { b.bits.Store(math.Float64bits(math.Inf(1))) }
+func (b *atomicBound) load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+func (b *atomicBound) update(v float64) {
+	nb := math.Float64bits(v)
+	for {
+		old := b.bits.Load()
+		if nb >= old {
+			return
+		}
+		if b.bits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
+
+// scanRange scores every entity of the shard against the arcs, keeping
+// the local k best in a bounded heap. The accumulation order per entity
+// is identical to the single-node fast path, so retained distances match
+// a full scan bit for bit; pruning only skips entities whose partial sum
+// already exceeds what the global top-K could admit.
+func (e *Engine) scanRange(ctx context.Context, sd *shardData, arcs []Arc, h *topK, gbound *atomicBound) error {
+	ents := sd.hi - sd.lo
+	for li := 0; li < ents; li++ {
+		if li%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		e.scoreLocal(sd, arcs, li, h, gbound)
+	}
+	return nil
+}
+
+// scanCandidates scores only the entities the shard's ANN index returns
+// for the arcs' centers.
+func (e *Engine) scanCandidates(ctx context.Context, sd *shardData, arcs []Arc, h *topK, gbound *atomicBound) error {
+	for n, id := range shardCandidates(sd, arcs) {
+		if n%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		e.scoreLocal(sd, arcs, int(id)-sd.lo, h, gbound)
+	}
+	return nil
+}
+
+// shardCandidates unions the shard-index probes of every arc center.
+func shardCandidates(sd *shardData, arcs []Arc) []kg.EntityID {
+	if sd.index == nil {
+		return nil
+	}
+	seen := make(map[kg.EntityID]struct{})
+	for i := range arcs {
+		for _, id := range sd.index.Candidates(arcs[i].C, arcs[i].Radius) {
+			seen[id] = struct{}{}
+		}
+	}
+	out := make([]kg.EntityID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	return out
+}
+
+// scoreLocal scores shard-local entity li (global ID sd.lo+li) against
+// every arc, minimising over arcs, and offers the result to the heap. It
+// prunes against min(local heap bound, shared global bound): terms are
+// non-negative, so a partial sum strictly above the bound can neither
+// improve this entity's running best nor enter the top-K.
+func (e *Engine) scoreLocal(sd *shardData, arcs []Arc, li int, h *topK, gbound *atomicBound) {
+	dim := e.p.Dim
+	twoRho := 2 * e.p.Rho
+	base := li * dim
+	thr := h.bound()
+	if g := gbound.load(); g < thr {
+		thr = g
+	}
+	best := math.Inf(1)
+	for ai := range arcs {
+		pa := &arcs[ai]
+		lim := best
+		if thr < lim {
+			lim = thr
+		}
+		sum := 0.0
+		pruned := false
+		for j := 0; j < dim; j++ {
+			cp, sp := sd.cos[base+j], sd.sin[base+j]
+			cs := cp*pa.CosS[j] + sp*pa.SinS[j]
+			ce := cp*pa.CosE[j] + sp*pa.SinE[j]
+			cc := cp*pa.CosC[j] + sp*pa.SinC[j]
+			do := halfSin(math.Max(cs, ce)) // min sin == max cos
+			di := math.Min(halfSin(cc), pa.SH[j])
+			sum += twoRho * (do + e.p.Eta*di)
+			if j%pruneStride == pruneStride-1 && sum > lim {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		if sd.group != nil {
+			if d := 1 - pa.Hot[sd.group[li]]; d > 0 {
+				sum += e.p.Xi * d
+			}
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	if math.IsInf(best, 1) {
+		return
+	}
+	if h.push(best, int32(sd.lo+li)) && h.full() {
+		gbound.update(h.bound())
+	}
+}

@@ -1,0 +1,91 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/halk-kg/halk/internal/ann"
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+// Source is the mutable model state a snapshot is built from: the flat
+// row-major entity angle table, the group assignment per entity (ignored
+// when Params.Xi is 0), and the monotonic version identifying this state
+// of the embeddings.
+type Source struct {
+	Angles  []float64
+	Group   []int32
+	Version uint64
+}
+
+// snapshot is one immutable published version of the sharded entity
+// table. In-flight scans hold the snapshot they started on; Swap only
+// replaces the engine's pointer, never the snapshot's contents.
+type snapshot struct {
+	version     uint64
+	numEntities int
+	shards      []shardData
+}
+
+// shardData is one shard's immutable view: the contiguous entity range
+// [lo, hi) it owns, its private cos/sin trig tables over that range, the
+// local group assignments, and the optional ANN bucket index.
+type shardData struct {
+	lo, hi   int
+	cos, sin []float64 // (hi-lo)×dim
+	group    []int32   // nil when the group penalty is disabled
+	index    *ann.Index
+}
+
+// buildSnapshot partitions src into n contiguous shards and computes the
+// per-shard trig tables (and ANN indexes when annCfg is non-nil). The
+// first numEntities mod n shards are one entity larger, so any table
+// size splits without gaps.
+func buildSnapshot(p Params, n int, src Source, annCfg *ann.Config) (*snapshot, error) {
+	if p.Dim <= 0 {
+		return nil, fmt.Errorf("shard: Dim must be positive")
+	}
+	if len(src.Angles)%p.Dim != 0 {
+		return nil, fmt.Errorf("shard: angle table length %d is not a multiple of dim %d", len(src.Angles), p.Dim)
+	}
+	ents := len(src.Angles) / p.Dim
+	if p.Xi > 0 && len(src.Group) != ents {
+		return nil, fmt.Errorf("shard: got %d group assignments for %d entities", len(src.Group), ents)
+	}
+	snap := &snapshot{
+		version:     src.Version,
+		numEntities: ents,
+		shards:      make([]shardData, n),
+	}
+	base, rem := ents/n, ents%n
+	lo := 0
+	for i := range snap.shards {
+		size := base
+		if i < rem {
+			size++
+		}
+		hi := lo + size
+		sd := shardData{
+			lo:  lo,
+			hi:  hi,
+			cos: make([]float64, size*p.Dim),
+			sin: make([]float64, size*p.Dim),
+		}
+		angles := src.Angles[lo*p.Dim : hi*p.Dim]
+		for j, a := range angles {
+			sd.cos[j] = math.Cos(a)
+			sd.sin[j] = math.Sin(a)
+		}
+		if p.Xi > 0 {
+			sd.group = src.Group[lo:hi]
+		}
+		if annCfg != nil && size > 0 {
+			cfg := *annCfg
+			cfg.Seed += int64(i) // decorrelate band choices across shards
+			sd.index = ann.NewFlat(angles, p.Dim, kg.EntityID(lo), cfg)
+		}
+		snap.shards[i] = sd
+		lo = hi
+	}
+	return snap, nil
+}

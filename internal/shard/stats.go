@@ -1,0 +1,76 @@
+package shard
+
+import "sync"
+
+// shardStat accumulates one shard's scan counters. Stats survive Swap —
+// they describe the shard slot, not any particular snapshot.
+type shardStat struct {
+	mu     sync.Mutex
+	scans  uint64 // completed scans
+	skips  uint64 // scans abandoned on the per-shard deadline
+	sumMs  float64
+	lastMs float64
+	maxMs  float64
+}
+
+func (st *shardStat) record(ms float64) {
+	st.mu.Lock()
+	st.scans++
+	st.sumMs += ms
+	st.lastMs = ms
+	if ms > st.maxMs {
+		st.maxMs = ms
+	}
+	st.mu.Unlock()
+}
+
+func (st *shardStat) recordSkip() {
+	st.mu.Lock()
+	st.skips++
+	st.mu.Unlock()
+}
+
+// ShardStats is the exported per-shard counter snapshot, shaped for the
+// /v1/stats JSON export.
+type ShardStats struct {
+	// Shard is the shard index; Lo/Hi is the entity ID range [Lo, Hi) it
+	// owns in the current snapshot.
+	Shard int `json:"shard"`
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+	// Scans counts completed local scans; Skips counts scans abandoned on
+	// the per-shard deadline (each skipped scan produced a partial
+	// response).
+	Scans uint64 `json:"scans"`
+	Skips uint64 `json:"skips"`
+	// Scan latency over completed scans, in milliseconds.
+	LastScanMs float64 `json:"last_scan_ms"`
+	MeanScanMs float64 `json:"mean_scan_ms"`
+	MaxScanMs  float64 `json:"max_scan_ms"`
+}
+
+// Stats returns the per-shard counters alongside the current snapshot's
+// shard ranges.
+func (e *Engine) Stats() []ShardStats {
+	snap := e.snap.Load()
+	out := make([]ShardStats, len(e.stats))
+	for i := range e.stats {
+		st := &e.stats[i]
+		st.mu.Lock()
+		out[i] = ShardStats{
+			Shard:      i,
+			Scans:      st.scans,
+			Skips:      st.skips,
+			LastScanMs: st.lastMs,
+			MaxScanMs:  st.maxMs,
+		}
+		if st.scans > 0 {
+			out[i].MeanScanMs = st.sumMs / float64(st.scans)
+		}
+		st.mu.Unlock()
+		if snap != nil {
+			out[i].Lo, out[i].Hi = snap.shards[i].lo, snap.shards[i].hi
+		}
+	}
+	return out
+}
