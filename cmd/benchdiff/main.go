@@ -1,0 +1,205 @@
+// Command benchdiff turns `go test -bench` output into a JSON snapshot
+// and compares it against a checked-in baseline, failing when any shared
+// benchmark regressed beyond a threshold. It is the gate behind the CI
+// bench-smoke job:
+//
+//	go test -run '^$' -bench 'ShardedDistances|FastDistances' -benchtime=1x ./... | \
+//	    benchdiff -baseline BENCH_baseline.json -out BENCH_ci.json
+//
+// A missing baseline is not an error — the snapshot is still written so
+// it can be promoted to the new baseline — and benchmarks present on
+// only one side are reported but never fail the run (the set drifts as
+// the suite grows). Exit status: 0 ok, 1 regression, 2 usage/IO error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is the serialized form of one bench run.
+type Snapshot struct {
+	// Note is free-form provenance (commit, date, host) — never compared.
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one `go test -bench` result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkShardedDistances/shards=4-8  	     100	    123456 ns/op	  12 B/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// Repeated names (e.g. -count>1 or the same benchmark from several
+// packages) keep the fastest run: the minimum is the least noisy
+// estimate of the true cost.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	best := map[string]Benchmark{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %v", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if prev, ok := best[b.Name]; !ok || b.NsPerOp < prev.NsPerOp {
+			best[b.Name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Benchmark, 0, len(best))
+	for _, b := range best {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// delta is one baseline-vs-current comparison.
+type delta struct {
+	Name     string
+	Old, New float64 // ns/op
+	Ratio    float64 // New/Old - 1; +0.30 = 30% slower
+}
+
+// compare pairs benchmarks by name. onlyOld/onlyNew list names present
+// on one side only.
+func compare(base, cur []Benchmark) (deltas []delta, onlyOld, onlyNew []string) {
+	baseBy := map[string]Benchmark{}
+	for _, b := range base {
+		baseBy[b.Name] = b
+	}
+	curSeen := map[string]bool{}
+	for _, c := range cur {
+		curSeen[c.Name] = true
+		b, ok := baseBy[c.Name]
+		if !ok {
+			onlyNew = append(onlyNew, c.Name)
+			continue
+		}
+		deltas = append(deltas, delta{Name: c.Name, Old: b.NsPerOp, New: c.NsPerOp, Ratio: c.NsPerOp/b.NsPerOp - 1})
+	}
+	for _, b := range base {
+		if !curSeen[b.Name] {
+			onlyOld = append(onlyOld, b.Name)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+func run(benchOut io.Reader, baselinePath, outPath, note string, threshold float64, logw io.Writer) int {
+	cur, err := parseBench(benchOut)
+	if err != nil {
+		fmt.Fprintf(logw, "benchdiff: parse: %v\n", err)
+		return 2
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(logw, "benchdiff: no benchmark lines in input")
+		return 2
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(Snapshot{Note: note, Benchmarks: cur}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(logw, "benchdiff: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(logw, "benchdiff: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(logw, "benchdiff: wrote %d benchmarks to %s\n", len(cur), outPath)
+	}
+
+	if baselinePath == "" {
+		return 0
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if os.IsNotExist(err) {
+		fmt.Fprintf(logw, "benchdiff: no baseline at %s; skipping comparison\n", baselinePath)
+		return 0
+	}
+	if err != nil {
+		fmt.Fprintf(logw, "benchdiff: %v\n", err)
+		return 2
+	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(logw, "benchdiff: baseline %s: %v\n", baselinePath, err)
+		return 2
+	}
+
+	deltas, onlyOld, onlyNew := compare(base.Benchmarks, cur)
+	for _, n := range onlyNew {
+		fmt.Fprintf(logw, "benchdiff: %s: new benchmark, no baseline\n", n)
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(logw, "benchdiff: %s: in baseline but not in this run\n", n)
+	}
+	failed := false
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Ratio > threshold {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(logw, "benchdiff: %-50s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			d.Name, d.Old, d.New, 100*d.Ratio, verdict)
+	}
+	if failed {
+		fmt.Fprintf(logw, "benchdiff: FAIL: regression beyond %.0f%% threshold\n", 100*threshold)
+		return 1
+	}
+	fmt.Fprintf(logw, "benchdiff: %d benchmarks within %.0f%% of baseline\n", len(deltas), 100*threshold)
+	return 0
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "-", "bench output to read (- = stdin)")
+		baseline  = flag.String("baseline", "", "baseline snapshot JSON to compare against (missing file skips comparison)")
+		out       = flag.String("out", "", "write this run's snapshot JSON here")
+		note      = flag.String("note", "", "provenance note stored in the snapshot")
+		threshold = flag.Float64("threshold", 0.25, "fail when ns/op grows by more than this fraction")
+	)
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		src = f
+	}
+	os.Exit(run(src, *baseline, *out, *note, *threshold, os.Stderr))
+}

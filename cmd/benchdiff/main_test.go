@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOut = `goos: linux
+goarch: amd64
+pkg: github.com/halk-kg/halk
+BenchmarkShardedDistances/shards=1-8         	     100	   500000 ns/op
+BenchmarkShardedDistances/shards=4-8         	     100	   150000 ns/op
+BenchmarkShardedDistances/shards=4-8         	     100	   140000 ns/op
+PASS
+ok  	github.com/halk-kg/halk	1.2s
+BenchmarkFastDistances-8                     	    2000	     8000.5 ns/op	  16 B/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	// Sorted by name; duplicate shards=4 keeps the faster run.
+	if got[0].Name != "BenchmarkFastDistances-8" || got[0].NsPerOp != 8000.5 {
+		t.Errorf("got[0] = %+v", got[0])
+	}
+	if got[2].Name != "BenchmarkShardedDistances/shards=4-8" || got[2].NsPerOp != 140000 {
+		t.Errorf("got[2] = %+v (duplicate should keep the minimum)", got[2])
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := []Benchmark{{Name: "A", NsPerOp: 100}, {Name: "Gone", NsPerOp: 50}}
+	cur := []Benchmark{{Name: "A", NsPerOp: 130}, {Name: "New", NsPerOp: 10}}
+	deltas, onlyOld, onlyNew := compare(base, cur)
+	if len(deltas) != 1 || deltas[0].Name != "A" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if r := deltas[0].Ratio; r < 0.299 || r > 0.301 {
+		t.Errorf("ratio = %v, want 0.30", r)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "Gone" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "New" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	outPath := filepath.Join(dir, "out.json")
+
+	// No baseline on disk: comparison is skipped, snapshot written, exit 0.
+	var log bytes.Buffer
+	if code := run(strings.NewReader(sampleOut), basePath, outPath, "ci", 0.25, &log); code != 0 {
+		t.Fatalf("missing baseline: exit %d, log:\n%s", code, log.String())
+	}
+	if !strings.Contains(log.String(), "skipping comparison") {
+		t.Errorf("missing-baseline run did not report skip: %s", log.String())
+	}
+	var snap Snapshot
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Note != "ci" || len(snap.Benchmarks) != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	// Identical run vs that snapshot as baseline: within threshold.
+	if err := os.Rename(outPath, basePath); err != nil {
+		t.Fatal(err)
+	}
+	log.Reset()
+	if code := run(strings.NewReader(sampleOut), basePath, "", "", 0.25, &log); code != 0 {
+		t.Fatalf("identical run: exit %d, log:\n%s", code, log.String())
+	}
+
+	// A >25% slowdown on one benchmark fails with exit 1.
+	slower := strings.Replace(sampleOut, "2000	     8000.5 ns/op", "2000	    11000.0 ns/op", 1)
+	log.Reset()
+	if code := run(strings.NewReader(slower), basePath, "", "", 0.25, &log); code != 1 {
+		t.Fatalf("regressed run: exit %d, log:\n%s", code, log.String())
+	}
+	if !strings.Contains(log.String(), "REGRESSION") {
+		t.Errorf("regressed run log lacks REGRESSION marker:\n%s", log.String())
+	}
+
+	// Garbage input: exit 2.
+	if code := run(strings.NewReader("nothing here"), basePath, "", "", 0.25, &log); code != 2 {
+		t.Fatalf("garbage input: exit %d", code)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"github.com/halk-kg/halk/internal/bench"
+	"github.com/halk-kg/halk/internal/obs"
 )
 
 func main() {
@@ -25,18 +26,30 @@ func main() {
 	log.SetPrefix("halk-bench: ")
 
 	var (
-		all    = flag.Bool("all", false, "run every table and figure")
-		only   = flag.String("only", "", "comma-separated experiment ids (e.g. \"Table I,Fig. 6a\")")
-		quick  = flag.Bool("quick", false, "smoke-scale budgets")
-		seed   = flag.Int64("seed", 1, "suite seed")
-		out    = flag.String("o", "", "also write results to this file")
-		shards = flag.Int("shards", 0, "shard count for the Sharding experiment (0 = sweep 1,2,4,GOMAXPROCS)")
+		all     = flag.Bool("all", false, "run every table and figure")
+		only    = flag.String("only", "", "comma-separated experiment ids (e.g. \"Table I,Fig. 6a\")")
+		quick   = flag.Bool("quick", false, "smoke-scale budgets")
+		seed    = flag.Int64("seed", 1, "suite seed")
+		out     = flag.String("o", "", "also write results to this file")
+		shards  = flag.Int("shards", 0, "shard count for the Sharding experiment (0 = sweep 1,2,4,GOMAXPROCS)")
+		pprofAt = flag.String("pprof-addr", "", "debug listen address exposing /debug/pprof/ for profiling suite runs (empty disables)")
 	)
 	flag.Parse()
 
 	if !*all && *only == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *pprofAt != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg)
+		dbg, bound, err := obs.ServeDebug(*pprofAt, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug server on %s (/debug/pprof/, /metrics)", bound)
 	}
 
 	cfg := bench.FullConfig(*seed)

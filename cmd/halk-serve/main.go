@@ -40,6 +40,7 @@ import (
 	"github.com/halk-kg/halk/internal/ann"
 	"github.com/halk-kg/halk/internal/halk"
 	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/serve"
 	"github.com/halk-kg/halk/internal/shard"
 )
@@ -60,6 +61,8 @@ func main() {
 		shards  = flag.Int("shards", 0, "shard the entity table and serve exact queries through the scatter-gather engine (0 = single-threaded full scan)")
 		shardTO = flag.Duration("shard-timeout", 0, "per-shard scan deadline; missed shards degrade the response to a partial result (0 = none)")
 		drain   = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+		pprofAt = flag.String("pprof-addr", "", "separate debug listen address exposing /debug/pprof/ and /metrics (empty disables)")
+		slowQ   = flag.Duration("slow-query", 0, "log queries slower than this with their per-stage trace (0 disables)")
 	)
 	flag.Parse()
 
@@ -88,6 +91,10 @@ func main() {
 	log.Printf("loaded %s model (d=%d) trained on %s: %d entities, %d relations",
 		m.Name(), hdr.Config.Dim, hdr.Dataset, ds.Train.NumEntities(), ds.Train.NumRelations())
 
+	// One registry backs /metrics on the serving mux, /v1/stats, the
+	// shard engine's per-shard counters, and the -pprof-addr debug mux.
+	reg := obs.NewRegistry()
+
 	cfg := serve.Config{
 		Model:          m,
 		Entities:       ds.Train.Entities,
@@ -98,13 +105,15 @@ func main() {
 		DefaultK:       *k,
 		MaxK:           *maxK,
 		DefaultTimeout: *timeout,
+		Metrics:        reg,
+		SlowQuery:      *slowQ,
 	}
 	if *approx {
 		cfg.Approx = m.NewAnswerIndex(ann.DefaultConfig(hdr.Seed))
 		log.Print("ANN answer index built; \"mode\": \"approx\" enabled")
 	}
 	if *shards > 0 {
-		ranker, err := m.NewShardedRanker(shard.Options{Shards: *shards, ShardTimeout: *shardTO})
+		ranker, err := m.NewShardedRanker(shard.Options{Shards: *shards, ShardTimeout: *shardTO, Metrics: reg})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -114,6 +123,15 @@ func main() {
 	srv, err := serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *pprofAt != "" {
+		dbg, bound, err := obs.ServeDebug(*pprofAt, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug server on %s (/debug/pprof/, /metrics)", bound)
 	}
 
 	httpSrv := &http.Server{

@@ -15,6 +15,7 @@ import (
 	"github.com/halk-kg/halk/internal/halk"
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/model"
+	"github.com/halk-kg/halk/internal/obs"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		hidden  = flag.Int("hidden", 64, "operator MLP width")
 		steps   = flag.Int("steps", 8000, "optimizer steps")
 		out     = flag.String("out", "halk.ckpt", "checkpoint output path")
+		pprofAt = flag.String("pprof-addr", "", "debug listen address exposing /debug/pprof/ and live training /metrics (empty disables)")
 	)
 	flag.Parse()
 
@@ -49,6 +51,17 @@ func main() {
 	tc.Steps = *steps
 	tc.Progress = func(step int, loss float64) {
 		log.Printf("step %6d  loss %.4f", step, loss)
+	}
+	if *pprofAt != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg)
+		tc.Metrics = reg
+		dbg, bound, err := obs.ServeDebug(*pprofAt, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug server on %s (/debug/pprof/, /metrics: steps, loss, grad norm)", bound)
 	}
 	res, err := model.Train(m, ds.Train, tc)
 	if err != nil {

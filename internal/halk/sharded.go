@@ -2,8 +2,10 @@ package halk
 
 import (
 	"context"
+	"time"
 
 	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/query"
 	"github.com/halk-kg/halk/internal/shard"
 )
@@ -71,7 +73,9 @@ func (r *ShardedRanker) Refresh() error {
 // snapshot. Per-shard deadlines may yield a partial result — see
 // shard.Result.
 func (r *ShardedRanker) RankTopK(ctx context.Context, n *query.Node, k int) (*shard.Result, error) {
+	begin := time.Now()
 	arcs := r.prepare(n)
+	obs.FromContext(ctx).Observe(obs.StagePrepareArcs, time.Since(begin))
 	return r.eng.TopK(ctx, arcs, k)
 }
 

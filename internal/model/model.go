@@ -6,6 +6,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -14,6 +15,7 @@ import (
 
 	"github.com/halk-kg/halk/internal/autodiff"
 	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/query"
 )
 
@@ -71,6 +73,28 @@ type TrainConfig struct {
 	OneHopFromEdges bool
 	// Progress, if non-nil, receives (step, loss) once per 100 steps.
 	Progress func(step int, loss float64)
+	// Metrics, when non-nil, receives the training-loop series: a step
+	// counter (halk_train_steps_total), a throughput gauge
+	// (halk_train_steps_per_second, over the trailing 100 steps), the
+	// latest batch loss (halk_train_loss) and a per-step global gradient
+	// L2-norm histogram (halk_train_grad_norm). halk-train wires this to
+	// the -pprof-addr debug listener's /metrics.
+	Metrics *obs.Registry
+}
+
+// gradNormBuckets spans the gradient norms seen across the model zoo:
+// vanishing (<1e-2) through exploding (>1e2).
+var gradNormBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250}
+
+// gradNorm is the global L2 norm of all accumulated gradients.
+func gradNorm(p *autodiff.Params) float64 {
+	sum := 0.0
+	for _, t := range p.All() {
+		for _, g := range t.Grad {
+			sum += g * g
+		}
+	}
+	return math.Sqrt(sum)
 }
 
 // DefaultTrainConfig returns the training budget used by the benchmark
@@ -171,8 +195,24 @@ func Train(m Interface, g *kg.Graph, cfg TrainConfig) (TrainResult, error) {
 		tapes[i] = autodiff.NewTape()
 	}
 
+	// Training metrics are optional: computing the gradient norm walks
+	// every parameter, so it is skipped entirely when no registry is set.
+	var (
+		stepsTotal *obs.Counter
+		stepsRate  *obs.Gauge
+		lossGauge  *obs.Gauge
+		gradHist   *obs.Histogram
+	)
+	if cfg.Metrics != nil {
+		stepsTotal = cfg.Metrics.Counter("halk_train_steps_total", "Optimizer steps completed.")
+		stepsRate = cfg.Metrics.Gauge("halk_train_steps_per_second", "Training throughput over the trailing 100 steps.")
+		lossGauge = cfg.Metrics.Gauge("halk_train_loss", "Mean batch loss at the latest optimizer step.")
+		gradHist = cfg.Metrics.Histogram("halk_train_grad_norm", "Global L2 gradient norm per optimizer step.", gradNormBuckets)
+	}
+
 	start := time.Now()
 	lastLoss := 0.0
+	rateMark, rateStep := start, 0
 	for step := 0; step < cfg.Steps; step++ {
 		if cfg.LRDecay {
 			opt.LR = cfg.LR * (1 - 0.9*float64(step)/float64(cfg.Steps))
@@ -226,8 +266,21 @@ func Train(m Interface, g *kg.Graph, cfg TrainConfig) (TrainResult, error) {
 		if n == 0 {
 			continue
 		}
+		if gradHist != nil {
+			gradHist.Observe(gradNorm(m.Params()) / float64(n))
+		}
 		opt.Step(m.Params(), float64(n))
 		lastLoss = batchLoss / float64(n)
+		if stepsTotal != nil {
+			stepsTotal.Inc()
+			lossGauge.Set(lastLoss)
+			if done := step + 1 - rateStep; done >= 100 {
+				if dt := time.Since(rateMark).Seconds(); dt > 0 {
+					stepsRate.Set(float64(done) / dt)
+				}
+				rateMark, rateStep = time.Now(), step+1
+			}
+		}
 		if cfg.Progress != nil && step%100 == 0 {
 			cfg.Progress(step, lastLoss)
 		}

@@ -1,12 +1,15 @@
 package model
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"github.com/halk-kg/halk/internal/autodiff"
 	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/query"
 )
 
@@ -208,5 +211,54 @@ func TestSamplePositiveDeterministicForSeed(t *testing.T) {
 	}
 	if _, ok := SamplePositive(query.Set{}, rand.New(rand.NewSource(1))); ok {
 		t.Error("empty answer set should not yield a positive")
+	}
+}
+
+// TestTrainMetrics runs a short training loop with a metrics registry
+// attached and checks the step counter, loss gauge, throughput gauge and
+// gradient-norm histogram all land on it.
+func TestTrainMetrics(t *testing.T) {
+	ds := kg.SynthFB237(61)
+	m := newToy(ds.Train, 62)
+	reg := obs.NewRegistry()
+	res, err := Train(m, ds.Train, TrainConfig{
+		QueriesPerStructure: 30,
+		Steps:               120,
+		BatchSize:           4,
+		NegSamples:          4,
+		LR:                  0.05,
+		Seed:                63,
+		Structures:          []string{"1p"},
+		Metrics:             reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, fmt.Sprintf("halk_train_steps_total %d", res.Steps)) {
+		t.Errorf("step counter missing or wrong:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE halk_train_loss gauge",
+		"# TYPE halk_train_steps_per_second gauge",
+		"# TYPE halk_train_grad_norm histogram",
+		fmt.Sprintf("halk_train_grad_norm_count %d", res.Steps),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Throughput was updated at step 100 and gradients flowed.
+	gradSum := reg.Histogram("halk_train_grad_norm", "", nil)
+	if gradSum.Sum() <= 0 {
+		t.Error("gradient-norm histogram sum is zero: no gradients observed")
+	}
+	rate := reg.Gauge("halk_train_steps_per_second", "")
+	if rate.Value() <= 0 {
+		t.Errorf("steps/sec gauge = %v, want > 0", rate.Value())
 	}
 }

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// DebugMux returns a mux serving the standard pprof endpoints under
+// /debug/pprof/ and, when reg is non-nil, Prometheus exposition at
+// /metrics. The CLIs mount this behind -pprof-addr: it is a separate
+// listener from the serving port, so profiling never competes with (or
+// exposes itself to) query traffic.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	return mux
+}
+
+// ServeDebug listens on addr and serves DebugMux(reg) in a background
+// goroutine, returning the server (Close it on shutdown) and the bound
+// address (useful with ":0"). The listen error is returned synchronously
+// so a mistyped -pprof-addr fails fast instead of silently not serving.
+func ServeDebug(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: DebugMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}
+
+// RegisterProcessMetrics adds the process-level gauges every binary
+// exports: uptime, goroutine count and heap usage.
+func RegisterProcessMetrics(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("halk_process_uptime_seconds", "Seconds since the process registered its metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("halk_goroutines", "Current goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("halk_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}

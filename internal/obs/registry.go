@@ -1,0 +1,249 @@
+// Package obs is the unified observability layer: a dependency-free
+// metrics registry (atomic counters, gauges and fixed-bucket histograms)
+// with Prometheus text-format exposition, a lightweight per-query
+// span/trace facility threaded through the serving pipeline, and a
+// pprof/debug HTTP server used by the CLIs behind -pprof-addr.
+//
+// The registry is the single source of truth for every counter the
+// system exports: the serve subsystem's request/cache stats, the shard
+// engine's per-shard scan counters and the training loop's
+// steps/loss/grad-norm series all live here, so /metrics (Prometheus)
+// and /v1/stats (JSON) are two views over the same numbers.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" metric dimension.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a Label; obs.L("endpoint", "/v1/query") reads better at call
+// sites than a struct literal.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metric is anything the registry can expose: one sample set under one
+// label set.
+type metric interface {
+	// write appends the exposition lines for this metric to b. name is
+	// the family name, labels the pre-rendered {k="v",...} block (empty
+	// when the metric has no labels).
+	write(b *strings.Builder, name, labels string)
+}
+
+// family is one named metric family: every label-combination of one
+// logical series, sharing a TYPE and HELP.
+type family struct {
+	name string
+	help string
+	typ  string // "counter", "gauge" or "histogram"
+
+	mu      sync.Mutex
+	order   []string // insertion-ordered label keys for stable exposition
+	metrics map[string]metric
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. All methods are safe for concurrent use; the get-or-create
+// constructors are cheap enough for hot paths but callers are expected
+// to cache the returned handles.
+type Registry struct {
+	mu       sync.RWMutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family returns the named family, creating it with the given type on
+// first use. A name reused with a different type panics: that is a
+// programming error that would render invalid exposition.
+func (r *Registry) family(name, help, typ string) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{name: name, help: help, typ: typ, metrics: make(map[string]metric)}
+			r.families[name] = f
+			r.order = append(r.order, name)
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// get returns the metric for the label set, creating it with mk on
+// first use.
+func (f *family) get(labels []Label, mk func() metric) metric {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.metrics[key]
+	if !ok {
+		m = mk()
+		f.metrics[key] = m
+		f.order = append(f.order, key)
+	}
+	return m
+}
+
+// Counter returns the counter for name+labels, registering it on first
+// use. Counters only go up.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.family(name, help, "counter").get(labels, func() metric { return &Counter{} })
+	return m.(*Counter)
+}
+
+// Gauge returns the gauge for name+labels, registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.family(name, help, "gauge").get(labels, func() metric { return &Gauge{} })
+	return m.(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// exposition time — for values that already live elsewhere (cache size,
+// goroutine count, uptime). Re-registering the same name+labels
+// replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.family(name, help, "gauge")
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.metrics[key]; !ok {
+		f.order = append(f.order, key)
+	}
+	f.metrics[key] = gaugeFunc(fn)
+}
+
+// Histogram returns the histogram for name+labels, registering it with
+// the given bucket upper bounds on first use (nil means LatencyBuckets).
+// Buckets are fixed at registration; later calls reuse the first bucket
+// layout.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	m := r.family(name, help, "histogram").get(labels, func() metric { return newHistogram(buckets) })
+	return m.(*Histogram)
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4), families in registration order,
+// series within a family in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		if f.help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(f.help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+		for _, key := range f.order {
+			f.metrics[key].write(&b, f.name, key)
+		}
+		f.mu.Unlock()
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns the /metrics HTTP handler for this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// renderLabels renders a deterministic {k="v",...} block (keys sorted),
+// or "" for no labels. The rendered form doubles as the series map key.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, "+Inf"/"-Inf" spelled out.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mergeLabelBlock inserts extra into an existing rendered label block:
+// mergeLabelBlock(`{a="1"}`, `le="5"`) == `{a="1",le="5"}`.
+func mergeLabelBlock(block, extra string) string {
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return block[:len(block)-1] + "," + extra + "}"
+}

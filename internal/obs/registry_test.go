@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("halk_requests_total", "Total requests.", L("endpoint", "/v1/query"))
+	c.Add(3)
+	// Same name+labels returns the same counter.
+	r.Counter("halk_requests_total", "Total requests.", L("endpoint", "/v1/query")).Inc()
+	r.Counter("halk_requests_total", "Total requests.", L("endpoint", "/v1/stats")).Inc()
+
+	g := r.Gauge("halk_loss", "Training loss.")
+	g.Set(0.25)
+	r.GaugeFunc("halk_workers", "Worker count.", func() float64 { return 8 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP halk_requests_total Total requests.",
+		"# TYPE halk_requests_total counter",
+		`halk_requests_total{endpoint="/v1/query"} 4`,
+		`halk_requests_total{endpoint="/v1/stats"} 1`,
+		"# TYPE halk_loss gauge",
+		"halk_loss 0.25",
+		"halk_workers 8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("halk_latency_ms", "Latency.", []float64{1, 10, 100}, L("stage", "parse"))
+	for _, v := range []float64{0.5, 0.7, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE halk_latency_ms histogram",
+		`halk_latency_ms_bucket{stage="parse",le="1"} 2`,
+		`halk_latency_ms_bucket{stage="parse",le="10"} 3`,
+		`halk_latency_ms_bucket{stage="parse",le="100"} 4`,
+		`halk_latency_ms_bucket{stage="parse",le="+Inf"} 5`,
+		`halk_latency_ms_sum{stage="parse"} 5056.2`,
+		`halk_latency_ms_count{stage="parse"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 || h.Mean() != 5056.2/5 {
+		t.Fatalf("Count/Mean = %d/%v", h.Count(), h.Mean())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	// 100 observations uniform in (0, 4]: quantiles interpolate.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 25.0)
+	}
+	if q := h.Quantile(0.5); q < 1.5 || q > 2.5 {
+		t.Fatalf("p50 = %v, want ~2", q)
+	}
+	if q := h.Quantile(1.0); q != 4 {
+		t.Fatalf("p100 = %v, want 4", q)
+	}
+	h.Observe(1e9) // lands in +Inf bucket; quantile clamps to top bound
+	if q := h.Quantile(0.999); q != 8 {
+		t.Fatalf("+Inf-bucket quantile = %v, want clamp to 8", q)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("halk_weird_total", "", L("q", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `halk_weird_total{q="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped series %q missing in:\n%s", want, b.String())
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("halk_c_total", "").Inc()
+				r.Gauge("halk_g", "").Add(1)
+				r.Histogram("halk_h_ms", "", nil).Observe(float64(j))
+				var b strings.Builder
+				_ = r.WritePrometheus(&b)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("halk_c_total", "").Value(); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+	if got := r.Gauge("halk_g", "").Value(); got != 8*500 {
+		t.Fatalf("gauge = %v, want %v", got, 8*500)
+	}
+	if got := r.Histogram("halk_h_ms", "", nil).Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("halk_x_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "halk_x_total 1") {
+		t.Fatalf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(3)
+	g.SetMax(1)
+	g.SetMax(7)
+	if g.Value() != 7 {
+		t.Fatalf("SetMax value = %v, want 7", g.Value())
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcessMetrics(reg)
+	srv, addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rec := httptest.NewRecorder()
+	DebugMux(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "halk_process_uptime_seconds") {
+		t.Fatalf("debug /metrics missing process gauges:\n%s", rec.Body.String())
+	}
+	if addr == "" {
+		t.Fatal("ServeDebug returned empty bound address")
+	}
+	_ = time.Now
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceStagesSumToTotal(t *testing.T) {
+	tr := NewTrace()
+	tr.Begin(StageParse)
+	time.Sleep(2 * time.Millisecond)
+	tr.Begin(StageCanonicalize)
+	time.Sleep(1 * time.Millisecond)
+	tr.End()
+	tr.Observe(StageShardScatter, 3*time.Millisecond)
+
+	stages := tr.Stages()
+	if len(stages) != 3 {
+		t.Fatalf("got %d stages, want 3: %+v", len(stages), stages)
+	}
+	order := []string{StageParse, StageCanonicalize, StageShardScatter}
+	sum := 0.0
+	for i, s := range stages {
+		if s.Stage != order[i] {
+			t.Fatalf("stage %d = %s, want %s", i, s.Stage, order[i])
+		}
+		sum += s.Ms
+	}
+	if sum < 5.5 { // 2 + 1 sleeps + 3 observed, minus scheduler slack
+		t.Fatalf("stage sum = %.3fms, want >= 5.5ms", sum)
+	}
+}
+
+func TestTraceMergesRepeatedStages(t *testing.T) {
+	tr := NewTrace()
+	tr.Observe(StageCacheLookup, time.Millisecond)
+	tr.Observe(StageRankScan, time.Millisecond)
+	tr.Observe(StageCacheLookup, time.Millisecond)
+	stages := tr.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages, want merged 2: %+v", len(stages), stages)
+	}
+	if stages[0].Stage != StageCacheLookup || stages[0].Ms < 1.9 {
+		t.Fatalf("merged stage = %+v, want cache_lookup ~2ms", stages[0])
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Begin("x")
+	tr.Observe("y", time.Second)
+	tr.End()
+	if tr.Stages() != nil || tr.TotalMs() != 0 || tr.String() != "" {
+		t.Fatal("nil trace must record nothing")
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must carry no trace")
+	}
+	tr := NewTrace()
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost in context round-trip")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := NewTrace()
+	tr.Observe(StageParse, 1500*time.Microsecond)
+	if s := tr.String(); !strings.Contains(s, "parse=1.500ms") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -3,19 +3,21 @@ package serve
 import (
 	"container/list"
 	"sync"
+
+	"github.com/halk-kg/halk/internal/obs"
 )
 
 // answerCache is a mutex-protected LRU over ranked answer lists, keyed
 // by the canonical query key plus the request parameters that change the
-// answer (mode, k). It counts hits, misses and evictions so /v1/stats
-// can report the hit rate.
+// answer (mode, k). Hit/miss/eviction counters live on the obs registry
+// (halk_cache_*), so /v1/stats and /metrics report the same numbers.
 type answerCache struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List               // front = most recently used
 	items map[string]*list.Element // key -> element whose Value is *cacheEntry
 
-	hits, misses, evictions uint64
+	hits, misses, evictions *obs.Counter
 }
 
 type cacheEntry struct {
@@ -24,13 +26,24 @@ type cacheEntry struct {
 }
 
 // newAnswerCache returns a cache holding up to max entries; max <= 0
-// disables caching (every Get misses, Put is a no-op).
-func newAnswerCache(max int) *answerCache {
-	return &answerCache{
-		max:   max,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
+// disables caching (every Get misses, Put is a no-op). Its counters and
+// size gauge register on reg.
+func newAnswerCache(max int, reg *obs.Registry) *answerCache {
+	c := &answerCache{
+		max:       max,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      reg.Counter("halk_cache_hits_total", "Answer-cache hits."),
+		misses:    reg.Counter("halk_cache_misses_total", "Answer-cache misses."),
+		evictions: reg.Counter("halk_cache_evictions_total", "Answer-cache LRU evictions."),
 	}
+	reg.GaugeFunc("halk_cache_size", "Answer-cache entries currently held.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.ll.Len())
+	})
+	reg.Gauge("halk_cache_capacity", "Answer-cache capacity in entries.").Set(float64(max))
+	return c
 }
 
 // Get returns the cached answers for key, marking the entry most
@@ -40,10 +53,10 @@ func (c *answerCache) Get(key string) ([]Answer, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
-	c.hits++
+	c.hits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).answers, true
 }
@@ -66,7 +79,7 @@ func (c *answerCache) Put(key string, answers []Answer) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.evictions++
+		c.evictions.Inc()
 	}
 }
 
@@ -91,16 +104,17 @@ type cacheStats struct {
 
 func (c *answerCache) stats() cacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	size := c.ll.Len()
+	c.mu.Unlock()
 	s := cacheStats{
-		Size:      c.ll.Len(),
+		Size:      size,
 		Capacity:  c.max,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
 	}
-	if total := c.hits + c.misses; total > 0 {
-		s.HitRate = float64(c.hits) / float64(total)
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
 	}
 	return s
 }

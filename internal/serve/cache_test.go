@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/obs"
 )
 
 func ans(ids ...int) []Answer {
@@ -17,7 +18,7 @@ func ans(ids ...int) []Answer {
 }
 
 func TestLRUEvictsOldest(t *testing.T) {
-	c := newAnswerCache(2)
+	c := newAnswerCache(2, obs.NewRegistry())
 	c.Put("a", ans(1))
 	c.Put("b", ans(2))
 	c.Put("c", ans(3)) // evicts a
@@ -34,7 +35,7 @@ func TestLRUEvictsOldest(t *testing.T) {
 }
 
 func TestLRURecencyOrder(t *testing.T) {
-	c := newAnswerCache(2)
+	c := newAnswerCache(2, obs.NewRegistry())
 	c.Put("a", ans(1))
 	c.Put("b", ans(2))
 	c.Get("a")         // a becomes most recent
@@ -48,7 +49,7 @@ func TestLRURecencyOrder(t *testing.T) {
 }
 
 func TestLRUCountersAndFlush(t *testing.T) {
-	c := newAnswerCache(4)
+	c := newAnswerCache(4, obs.NewRegistry())
 	c.Put("k", ans(1, 2))
 	c.Get("k")
 	c.Get("nope")
@@ -69,7 +70,7 @@ func TestLRUCountersAndFlush(t *testing.T) {
 }
 
 func TestLRUDisabled(t *testing.T) {
-	c := newAnswerCache(0)
+	c := newAnswerCache(0, obs.NewRegistry())
 	c.Put("k", ans(1))
 	if _, ok := c.Get("k"); ok {
 		t.Error("disabled cache stored an entry")
@@ -77,7 +78,7 @@ func TestLRUDisabled(t *testing.T) {
 }
 
 func TestLRUPutOverwrites(t *testing.T) {
-	c := newAnswerCache(2)
+	c := newAnswerCache(2, obs.NewRegistry())
 	c.Put("k", ans(1))
 	c.Put("k", ans(2, 3))
 	got, ok := c.Get("k")
@@ -90,7 +91,7 @@ func TestLRUPutOverwrites(t *testing.T) {
 }
 
 func TestCacheConcurrentAccess(t *testing.T) {
-	c := newAnswerCache(16)
+	c := newAnswerCache(16, obs.NewRegistry())
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -109,38 +110,5 @@ func TestCacheConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if s := c.stats(); s.Size > 16 {
 		t.Errorf("cache overgrew: %d entries", s.Size)
-	}
-}
-
-func TestRingQuantiles(t *testing.T) {
-	r := newRing()
-	for i := 1; i <= 100; i++ {
-		r.observe(float64(i))
-	}
-	if p50 := r.quantile(0.5); p50 < 45 || p50 > 55 {
-		t.Errorf("p50 = %v", p50)
-	}
-	if p99 := r.quantile(0.99); p99 < 95 {
-		t.Errorf("p99 = %v", p99)
-	}
-	if r.quantile(0) != 1 || r.quantile(1) != 100 {
-		t.Errorf("extremes = %v, %v", r.quantile(0), r.quantile(1))
-	}
-	// Overflow the window: old observations roll off.
-	for i := 0; i < ringSize; i++ {
-		r.observe(1000)
-	}
-	if r.quantile(0.5) != 1000 {
-		t.Error("window did not slide")
-	}
-	if r.total != uint64(100+ringSize) {
-		t.Errorf("total = %d", r.total)
-	}
-}
-
-func TestEmptyRing(t *testing.T) {
-	r := newRing()
-	if r.quantile(0.5) != 0 {
-		t.Error("empty ring quantile should be 0")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/query"
 	"github.com/halk-kg/halk/internal/shard"
 	"github.com/halk-kg/halk/internal/sparql"
@@ -62,6 +63,18 @@ type queryResponse struct {
 	Partial        bool     `json:"partial,omitempty"`
 	ShardsAnswered []int    `json:"shards_answered,omitempty"`
 	Answers        []Answer `json:"answers"`
+	// Debug carries the per-stage pipeline trace when the request asked
+	// for it with ?debug=trace.
+	Debug *debugInfo `json:"debug,omitempty"`
+}
+
+// debugInfo is the ?debug=trace response section: the stage timings
+// recorded up to response assembly (the final JSON encode is observed
+// into the halk_stage_duration_ms histogram and the slow-query log, but
+// cannot appear in the payload it produces).
+type debugInfo struct {
+	Trace   []obs.StageTiming `json:"trace"`
+	TotalMs float64           `json:"total_ms"`
 }
 
 type errorResponse struct {
@@ -76,6 +89,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	tr := obs.NewTrace()
 	status := http.StatusOK
 	defer func() {
 		s.metrics.observe("/v1/query", time.Since(start), status >= 400)
@@ -89,6 +103,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	debugTrace := r.URL.Query().Get("debug") == "trace"
+	tr.Begin(obs.StageParse)
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		fail(http.StatusBadRequest, "invalid JSON body: %v", err)
@@ -100,6 +116,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusBadRequest, "%v", err)
 		return
 	}
+	tr.Begin(obs.StageCanonicalize)
 
 	k := req.K
 	if k <= 0 {
@@ -141,18 +158,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		K:         k,
 	}
 
-	if answers, ok := s.cache.Get(cacheKey); ok {
+	tr.Begin(obs.StageCacheLookup)
+	cached, ok := s.cache.Get(cacheKey)
+	tr.End()
+	if ok {
 		resp.Cached = true
-		resp.Answers = answers
-		resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
-		writeJSON(w, http.StatusOK, resp)
+		resp.Answers = cached
+		s.finish(w, &resp, tr, debugTrace)
 		return
 	}
 
+	// The trace rides the context so the ranking layers (worker pool,
+	// sharded engine, full scan) annotate their own stages onto it.
+	ctx = obs.NewContext(ctx, tr)
+	tr.Begin(obs.StageQueueWait)
 	var answers []Answer
 	var sharded *shard.Result
 	var rankErr error
 	poolErr := s.pool.Do(ctx, func() {
+		tr.End() // a worker picked the task up: queue wait is over
 		answers, sharded, rankErr = s.rank(ctx, root, k, mode)
 	})
 	if err := firstErr(poolErr, rankErr); err != nil {
@@ -179,8 +203,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.cache.Put(cacheKey, answers)
 	}
 	resp.Answers = answers
-	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	s.finish(w, &resp, tr, debugTrace)
+}
+
+// finish stamps the elapsed time (and, on request, the stage trace)
+// onto resp, encodes it, folds the trace into the per-stage latency
+// histograms, and emits the slow-query log line when the request blew
+// the threshold.
+func (s *Server) finish(w http.ResponseWriter, resp *queryResponse, tr *obs.Trace, debugTrace bool) {
+	resp.ElapsedMs = tr.TotalMs()
+	if debugTrace {
+		resp.Debug = &debugInfo{Trace: tr.Stages(), TotalMs: resp.ElapsedMs}
+	}
+	encStart := time.Now()
 	writeJSON(w, http.StatusOK, resp)
+	tr.Observe(obs.StageEncode, time.Since(encStart))
+	s.metrics.observeTrace(tr)
+	if thr := s.cfg.SlowQuery; thr > 0 && resp.ElapsedMs >= float64(thr)/float64(time.Millisecond) {
+		s.metrics.slow.Inc()
+		s.cfg.SlowLog.Printf("serve: slow query (%.1fms >= %v): %s mode=%s k=%d partial=%v trace: %s",
+			resp.ElapsedMs, thr, resp.Canonical, resp.Mode, resp.K, resp.Partial, tr)
+	}
 }
 
 func firstErr(errs ...error) error {
@@ -252,29 +295,38 @@ func (s *Server) answerVersion(mode string) uint64 {
 // ranking — sharded scatter-gather, single-threaded exact, or
 // ANN-pruned. The *shard.Result is non-nil only on the sharded path.
 func (s *Server) rank(ctx context.Context, root *query.Node, k int, mode string) ([]Answer, *shard.Result, error) {
+	tr := obs.FromContext(ctx)
 	if mode == "approx" {
+		begin := time.Now()
 		ids := s.cfg.Approx.TopKApprox(root, k)
 		s.metrics.observePool(s.cfg.Approx.PoolSize(root))
 		answers := make([]Answer, len(ids))
 		for i, e := range ids {
 			answers[i] = Answer{ID: e, Entity: s.cfg.Entities.Name(int32(e))}
 		}
+		tr.Observe(obs.StageApproxTopK, time.Since(begin))
 		return answers, nil, nil
 	}
 
 	if s.cfg.Ranker != nil {
+		// The sharded path traces its own prepare/scatter/merge stages
+		// through the context; only the answer labelling is ours, counted
+		// toward the encode stage.
 		res, err := s.cfg.Ranker.RankTopK(ctx, root, k)
 		if err != nil {
 			return nil, nil, err
 		}
+		begin := time.Now()
 		answers := make([]Answer, len(res.IDs))
 		for i, e := range res.IDs {
 			dist := res.Dists[i]
 			answers[i] = Answer{ID: e, Entity: s.cfg.Entities.Name(int32(e)), Distance: &dist}
 		}
+		tr.Observe(obs.StageEncode, time.Since(begin))
 		return answers, res, nil
 	}
 
+	begin := time.Now()
 	var d []float64
 	var err error
 	if cr, ok := s.cfg.Model.(ContextRanker); ok {
@@ -285,7 +337,9 @@ func (s *Server) rank(ctx context.Context, root *query.Node, k int, mode string)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.topK(d, k), nil, nil
+	answers := s.topK(d, k)
+	tr.Observe(obs.StageRankScan, time.Since(begin))
+	return answers, nil, nil
 }
 
 // topK selects the k lowest-distance entities, most likely answers

@@ -1,95 +1,97 @@
 package serve
 
 import (
-	"sort"
 	"sync"
 	"time"
+
+	"github.com/halk-kg/halk/internal/obs"
 )
 
-// ringSize is the number of recent observations each ring keeps;
-// quantiles are computed over this sliding window, so they track the
-// recent traffic rather than the process lifetime.
-const ringSize = 512
-
-// ring is a fixed-size ring buffer of float64 observations. It is not
-// self-locking; metrics.mu guards it.
-type ring struct {
-	buf   []float64
-	next  int
-	total uint64
-}
-
-func newRing() *ring { return &ring{buf: make([]float64, 0, ringSize)} }
-
-func (r *ring) observe(v float64) {
-	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, v)
-	} else {
-		r.buf[r.next] = v
-	}
-	r.next = (r.next + 1) % cap(r.buf)
-	r.total++
-}
-
-// quantile returns the q-quantile (0 <= q <= 1) of the window, or 0 if
-// nothing has been observed.
-func (r *ring) quantile(q float64) float64 {
-	if len(r.buf) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), r.buf...)
-	sort.Float64s(s)
-	i := int(q * float64(len(s)-1))
-	return s[i]
-}
-
-// metrics aggregates per-endpoint request counters and latency windows,
-// plus the approx-mode candidate-pool sizes. All methods are safe for
-// concurrent use.
+// metrics is the serving side's view into the obs registry: request and
+// error counters plus a latency histogram per endpoint, a per-stage
+// query-pipeline latency histogram, and the approx-mode candidate-pool
+// size distribution. The registry is the single source of truth — the
+// same series back the Prometheus exposition at /metrics and the JSON
+// snapshot at /v1/stats.
 type metrics struct {
+	reg   *obs.Registry
 	start time.Time
 
 	mu        sync.Mutex
-	endpoints map[string]*endpointStats
-	poolSizes *ring
+	endpoints map[string]*endpointMetrics
+	stages    map[string]*obs.Histogram
+	poolSizes *obs.Histogram
+	slow      *obs.Counter
 }
 
-type endpointStats struct {
-	count   uint64
-	errors  uint64
-	latency *ring
+type endpointMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
 }
 
-func newMetrics() *metrics {
+func newMetrics(reg *obs.Registry) *metrics {
 	return &metrics{
+		reg:       reg,
 		start:     time.Now(),
-		endpoints: make(map[string]*endpointStats),
-		poolSizes: newRing(),
+		endpoints: make(map[string]*endpointMetrics),
+		stages:    make(map[string]*obs.Histogram),
+		poolSizes: reg.Histogram("halk_approx_pool_size", "Candidate-pool sizes of approx-mode queries.", obs.SizeBuckets),
+		slow:      reg.Counter("halk_slow_queries_total", "Queries slower than the slow-query threshold."),
 	}
+}
+
+// endpoint returns (creating on first use) the registry handles for one
+// endpoint label.
+func (mt *metrics) endpoint(name string) *endpointMetrics {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	em, ok := mt.endpoints[name]
+	if !ok {
+		l := obs.L("endpoint", name)
+		em = &endpointMetrics{
+			requests: mt.reg.Counter("halk_http_requests_total", "HTTP requests served, by endpoint.", l),
+			errors:   mt.reg.Counter("halk_http_errors_total", "HTTP requests answered with a 4xx/5xx status.", l),
+			latency:  mt.reg.Histogram("halk_http_request_duration_ms", "End-to-end request latency in milliseconds.", obs.LatencyBuckets, l),
+		}
+		mt.endpoints[name] = em
+	}
+	return em
 }
 
 // observe records one request against the endpoint: its latency, and
 // whether it failed (any non-2xx response).
 func (mt *metrics) observe(endpoint string, elapsed time.Duration, failed bool) {
+	em := mt.endpoint(endpoint)
+	em.requests.Inc()
+	if failed {
+		em.errors.Inc()
+	}
+	em.latency.Observe(float64(elapsed) / float64(time.Millisecond))
+}
+
+// observeTrace folds a finished query trace into the per-stage latency
+// histograms (halk_stage_duration_ms{stage=...}).
+func (mt *metrics) observeTrace(tr *obs.Trace) {
+	for _, st := range tr.Stages() {
+		mt.stage(st.Stage).Observe(st.Ms)
+	}
+}
+
+func (mt *metrics) stage(name string) *obs.Histogram {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
-	es, ok := mt.endpoints[endpoint]
+	h, ok := mt.stages[name]
 	if !ok {
-		es = &endpointStats{latency: newRing()}
-		mt.endpoints[endpoint] = es
+		h = mt.reg.Histogram("halk_stage_duration_ms", "Per-stage query pipeline latency in milliseconds.", obs.LatencyBuckets, obs.L("stage", name))
+		mt.stages[name] = h
 	}
-	es.count++
-	if failed {
-		es.errors++
-	}
-	es.latency.observe(float64(elapsed) / float64(time.Millisecond))
+	return h
 }
 
 // observePool records the candidate-pool size of one approx-mode query.
 func (mt *metrics) observePool(size int) {
-	mt.mu.Lock()
-	defer mt.mu.Unlock()
-	mt.poolSizes.observe(float64(size))
+	mt.poolSizes.Observe(float64(size))
 }
 
 // endpointSnapshot is the /v1/stats view of one endpoint.
@@ -112,28 +114,34 @@ type poolSnapshot struct {
 	P90     float64 `json:"p90"`
 }
 
+// snapshot renders the JSON view over the registry: per-endpoint
+// counters with histogram-interpolated latency quantiles, the
+// candidate-pool summary, and uptime.
 func (mt *metrics) snapshot() (map[string]endpointSnapshot, poolSnapshot, float64) {
 	mt.mu.Lock()
-	defer mt.mu.Unlock()
-	eps := make(map[string]endpointSnapshot, len(mt.endpoints))
-	for name, es := range mt.endpoints {
+	names := make([]string, 0, len(mt.endpoints))
+	for name := range mt.endpoints {
+		names = append(names, name)
+	}
+	mt.mu.Unlock()
+
+	eps := make(map[string]endpointSnapshot, len(names))
+	for _, name := range names {
+		em := mt.endpoint(name)
 		eps[name] = endpointSnapshot{
-			Requests: es.count,
-			Errors:   es.errors,
+			Requests: em.requests.Value(),
+			Errors:   em.errors.Value(),
 			LatencyMs: latency{
-				P50: es.latency.quantile(0.50),
-				P90: es.latency.quantile(0.90),
-				P99: es.latency.quantile(0.99),
+				P50: em.latency.Quantile(0.50),
+				P90: em.latency.Quantile(0.90),
+				P99: em.latency.Quantile(0.99),
 			},
 		}
 	}
-	pool := poolSnapshot{Queries: mt.poolSizes.total, P90: mt.poolSizes.quantile(0.90)}
-	if n := len(mt.poolSizes.buf); n > 0 {
-		sum := 0.0
-		for _, v := range mt.poolSizes.buf {
-			sum += v
-		}
-		pool.Mean = sum / float64(n)
+	pool := poolSnapshot{
+		Queries: mt.poolSizes.Count(),
+		Mean:    mt.poolSizes.Mean(),
+		P90:     mt.poolSizes.Quantile(0.90),
 	}
 	return eps, pool, time.Since(mt.start).Seconds()
 }

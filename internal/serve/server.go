@@ -20,12 +20,14 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"time"
 
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/model"
+	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/query"
 	"github.com/halk-kg/halk/internal/shard"
 	"github.com/halk-kg/halk/internal/sparql"
@@ -112,6 +114,17 @@ type Config struct {
 	// DefaultTimeout bounds a request that names no timeout_ms; 0 means
 	// 10s.
 	DefaultTimeout time.Duration
+	// Metrics is the obs registry all serving counters register on,
+	// exposed in Prometheus text format at /metrics. Pass the process
+	// registry to aggregate with other subsystems (the shard engine's
+	// per-shard counters, training metrics); nil means a private one.
+	Metrics *obs.Registry
+	// SlowQuery is the slow-query log threshold: any /v1/query slower
+	// than this logs its canonical form and per-stage trace through
+	// SlowLog. 0 disables the slow-query log.
+	SlowQuery time.Duration
+	// SlowLog receives slow-query lines; nil means log.Default().
+	SlowLog *log.Logger
 }
 
 // DefaultCacheSize is the answer-cache capacity when Config leaves
@@ -157,21 +170,37 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 10 * time.Second
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.SlowLog == nil {
+		cfg.SlowLog = log.Default()
+	}
+	obs.RegisterProcessMetrics(cfg.Metrics)
+	cfg.Metrics.Gauge("halk_workers", "Ranking worker pool size.").Set(float64(cfg.Workers))
+	cfg.Metrics.Gauge("halk_entities", "Entities in the served model.").Set(float64(cfg.Entities.Len()))
 
 	s := &Server{
 		cfg:     cfg,
 		adaptor: &sparql.Adaptor{Entities: cfg.Entities, Relations: cfg.Relations},
 		pool:    newWorkerPool(cfg.Workers),
-		cache:   newAnswerCache(cfg.CacheSize),
-		metrics: newMetrics(),
+		cache:   newAnswerCache(cfg.CacheSize, cfg.Metrics),
+		metrics: newMetrics(cfg.Metrics),
 		workers: cfg.Workers,
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.Handle("/metrics", cfg.Metrics.Handler())
 	return s, nil
 }
+
+// Metrics returns the registry the server's counters live on — the one
+// passed in Config.Metrics, or the private default. Useful for mounting
+// the same registry elsewhere (a debug listener) or reading counters in
+// tests.
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 
 // Handler returns the HTTP handler exposing /v1/query, /v1/healthz and
 // /v1/stats; mount it on an http.Server.

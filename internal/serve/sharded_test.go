@@ -4,9 +4,11 @@ import (
 	"context"
 	"net/http"
 	"testing"
+	"time"
 
 	"github.com/halk-kg/halk/internal/halk"
 	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/query"
 	"github.com/halk-kg/halk/internal/shard"
 )
@@ -193,5 +195,67 @@ func TestPartialResponseNotCached(t *testing.T) {
 	}
 	if got3.Partial || len(got3.Answers) != 2 {
 		t.Fatalf("cached response = %+v, want the full ranking", got3)
+	}
+}
+
+// TestDeadlinePartialEndToEnd drives the deadline/partial-result path
+// through a real engine rather than a stub: shard 1 of 2 sleeps past its
+// per-shard deadline on every scan, so each response must degrade to
+// partial=true with shards_answered=[0], must never populate the answer
+// cache, and the skip must land in the per-shard counters.
+func TestDeadlinePartialEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, _, _, ts := newTestServer(t, func(cfg *Config) {
+		cfg.Metrics = reg
+		r, err := cfg.Model.(*halk.Model).NewShardedRanker(shard.Options{
+			Shards:       2,
+			ShardTimeout: 10 * time.Millisecond,
+			Metrics:      reg,
+			ScanHook: func(i int) {
+				if i == 1 {
+					time.Sleep(100 * time.Millisecond)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("NewShardedRanker: %v", err)
+		}
+		cfg.Ranker = r
+	})
+
+	req := queryRequest{Structure: "1p", Seed: 5, K: 6}
+	for attempt := 1; attempt <= 2; attempt++ {
+		qr, code := postQuery(t, ts, req)
+		if code != http.StatusOK {
+			t.Fatalf("attempt %d: status %d", attempt, code)
+		}
+		if !qr.Partial {
+			t.Fatalf("attempt %d: response not marked partial", attempt)
+		}
+		if len(qr.ShardsAnswered) != 1 || qr.ShardsAnswered[0] != 0 {
+			t.Fatalf("attempt %d: ShardsAnswered = %v, want [0]", attempt, qr.ShardsAnswered)
+		}
+		// Never a cache hit: partial answers must not be stored, so the
+		// second identical query recomputes instead of replaying.
+		if qr.Cached {
+			t.Fatalf("attempt %d: partial response served from cache", attempt)
+		}
+		if len(qr.Answers) == 0 {
+			t.Fatalf("attempt %d: partial response carried no answers from the live shard", attempt)
+		}
+	}
+
+	stats := getStats(t, ts)
+	if stats.Cache.Size != 0 {
+		t.Fatalf("answer cache holds %d entries after partial-only traffic, want 0", stats.Cache.Size)
+	}
+	var skips uint64
+	for _, ss := range stats.Shards {
+		if ss.Shard == 1 {
+			skips = ss.Skips
+		}
+	}
+	if skips < 2 {
+		t.Fatalf("shard 1 skips = %d, want >= 2", skips)
 	}
 }

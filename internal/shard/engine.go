@@ -10,6 +10,7 @@ import (
 
 	"github.com/halk-kg/halk/internal/ann"
 	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/obs"
 )
 
 // ErrNoSnapshot is returned by ranking calls before the first Swap.
@@ -30,6 +31,15 @@ type Options struct {
 	// is skipped and the merged result is marked partial; 0 means shards
 	// are bounded only by the query context.
 	ShardTimeout time.Duration
+	// Metrics is the registry the per-shard scan counters register on,
+	// shared with the rest of the process so one /metrics endpoint
+	// exports everything. Nil means a private registry (reachable via
+	// Engine.Metrics).
+	Metrics *obs.Registry
+	// ScanHook, when set, is called at the start of every shard scan with
+	// the shard index. Test instrumentation: a hook that sleeps past
+	// ShardTimeout turns that shard into a deadline miss.
+	ScanHook func(shardIdx int)
 }
 
 // Engine is the sharded ranking engine. All methods are safe for
@@ -42,11 +52,12 @@ type Engine struct {
 
 	snap   atomic.Pointer[snapshot]
 	swapMu sync.Mutex // serialises Swap; installs stay version-monotonic
+	reg    *obs.Registry
 	stats  []shardStat
 	heaps  []sync.Pool // per-shard scratch heaps, reused across scans
 
 	// slow, when set, is called at the start of each shard scan — a test
-	// hook for injecting a wedged shard.
+	// hook for injecting a wedged shard (Options.ScanHook).
 	slow func(shardIdx int)
 }
 
@@ -57,13 +68,19 @@ func NewEngine(p Params, opts Options) *Engine {
 	if n < 1 {
 		n = 1
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Engine{
 		p:            p,
 		n:            n,
 		annCfg:       opts.ANN,
 		shardTimeout: opts.ShardTimeout,
-		stats:        make([]shardStat, n),
+		reg:          reg,
+		stats:        newShardStats(reg, n),
 		heaps:        make([]sync.Pool, n),
+		slow:         opts.ScanHook,
 	}
 }
 
@@ -185,7 +202,9 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool) (*Resu
 	var gbound atomicBound
 	gbound.init()
 
+	tr := obs.FromContext(ctx)
 	locals := make([]localTopK, len(snap.shards))
+	scatterStart := time.Now()
 	var wg sync.WaitGroup
 	for i := range snap.shards {
 		wg.Add(1)
@@ -195,10 +214,14 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool) (*Resu
 		}(i)
 	}
 	wg.Wait()
+	tr.Observe(obs.StageShardScatter, time.Since(scatterStart))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return mergeLocals(snap, locals, k)
+	mergeStart := time.Now()
+	res, err := mergeLocals(snap, locals, k)
+	tr.Observe(obs.StageHeapMerge, time.Since(mergeStart))
+	return res, err
 }
 
 // scanShard runs one shard's local top-K scan, honouring the per-shard

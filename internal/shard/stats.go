@@ -1,34 +1,54 @@
 package shard
 
-import "sync"
+import (
+	"strconv"
 
-// shardStat accumulates one shard's scan counters. Stats survive Swap —
-// they describe the shard slot, not any particular snapshot.
+	"github.com/halk-kg/halk/internal/obs"
+)
+
+// shardStat holds one shard slot's counters as handles into the obs
+// registry, so the same numbers serve /v1/stats (JSON) and /metrics
+// (Prometheus). Stats survive Swap — they describe the shard slot, not
+// any particular snapshot.
+//
+// Everything here is atomic (counters, gauge bits, histogram buckets):
+// scan goroutines publish and the stats reader observes without any
+// lock, so a Stats call during a scatter never blocks a shard — and the
+// counters still read race-clean (see TestShardStatsRaceStress, run
+// under -race).
 type shardStat struct {
-	mu     sync.Mutex
-	scans  uint64 // completed scans
-	skips  uint64 // scans abandoned on the per-shard deadline
-	sumMs  float64
-	lastMs float64
-	maxMs  float64
+	scans  *obs.Counter   // completed scans
+	skips  *obs.Counter   // scans abandoned on the per-shard deadline
+	scanMs *obs.Histogram // completed-scan latency
+	lastMs *obs.Gauge
+	maxMs  *obs.Gauge
+}
+
+// newShardStats registers the per-shard series (labelled shard="i") on
+// reg.
+func newShardStats(reg *obs.Registry, n int) []shardStat {
+	out := make([]shardStat, n)
+	for i := range out {
+		l := obs.L("shard", strconv.Itoa(i))
+		out[i] = shardStat{
+			scans:  reg.Counter("halk_shard_scans_total", "Completed per-shard scans.", l),
+			skips:  reg.Counter("halk_shard_skips_total", "Shard scans abandoned on the per-shard deadline.", l),
+			scanMs: reg.Histogram("halk_shard_scan_duration_ms", "Latency of completed shard scans in milliseconds.", obs.LatencyBuckets, l),
+			lastMs: reg.Gauge("halk_shard_last_scan_ms", "Latency of the most recent completed scan.", l),
+			maxMs:  reg.Gauge("halk_shard_max_scan_ms", "Worst completed-scan latency since process start.", l),
+		}
+	}
+	return out
 }
 
 func (st *shardStat) record(ms float64) {
-	st.mu.Lock()
-	st.scans++
-	st.sumMs += ms
-	st.lastMs = ms
-	if ms > st.maxMs {
-		st.maxMs = ms
-	}
-	st.mu.Unlock()
+	st.scans.Inc()
+	st.scanMs.Observe(ms)
+	st.lastMs.Set(ms)
+	st.maxMs.SetMax(ms)
 }
 
-func (st *shardStat) recordSkip() {
-	st.mu.Lock()
-	st.skips++
-	st.mu.Unlock()
-}
+func (st *shardStat) recordSkip() { st.skips.Inc() }
 
 // ShardStats is the exported per-shard counter snapshot, shaped for the
 // /v1/stats JSON export.
@@ -50,27 +70,29 @@ type ShardStats struct {
 }
 
 // Stats returns the per-shard counters alongside the current snapshot's
-// shard ranges.
+// shard ranges. It is a lock-free read of the same registry series
+// exported at /metrics.
 func (e *Engine) Stats() []ShardStats {
 	snap := e.snap.Load()
 	out := make([]ShardStats, len(e.stats))
 	for i := range e.stats {
 		st := &e.stats[i]
-		st.mu.Lock()
 		out[i] = ShardStats{
 			Shard:      i,
-			Scans:      st.scans,
-			Skips:      st.skips,
-			LastScanMs: st.lastMs,
-			MaxScanMs:  st.maxMs,
+			Scans:      st.scans.Value(),
+			Skips:      st.skips.Value(),
+			LastScanMs: st.lastMs.Value(),
+			MeanScanMs: st.scanMs.Mean(),
+			MaxScanMs:  st.maxMs.Value(),
 		}
-		if st.scans > 0 {
-			out[i].MeanScanMs = st.sumMs / float64(st.scans)
-		}
-		st.mu.Unlock()
 		if snap != nil {
 			out[i].Lo, out[i].Hi = snap.shards[i].lo, snap.shards[i].hi
 		}
 	}
 	return out
 }
+
+// Metrics returns the registry the engine's counters live on — the one
+// passed in Options.Metrics, or the engine's private registry when none
+// was.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
