@@ -56,6 +56,41 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestNewBenchmarksTolerated pins the behaviour a growing benchmark
+// suite depends on: a run containing benchmarks absent from the
+// baseline (newly added ones) must pass — the newcomers are reported,
+// not treated as regressions — while existing benchmarks are still
+// compared.
+func TestNewBenchmarksTolerated(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	var log bytes.Buffer
+	if code := run(strings.NewReader(sampleOut), "", basePath, "", 0.25, &log); code != 0 {
+		t.Fatalf("writing baseline: exit %d", code)
+	}
+
+	withNew := sampleOut + "BenchmarkHedgedScan-8                        	    1000	    42000 ns/op\nPASS\n"
+	log.Reset()
+	if code := run(strings.NewReader(withNew), basePath, "", "", 0.25, &log); code != 0 {
+		t.Fatalf("run with a new benchmark: exit %d, log:\n%s", code, log.String())
+	}
+	if !strings.Contains(log.String(), "BenchmarkHedgedScan-8: new benchmark, no baseline") {
+		t.Errorf("new benchmark not reported:\n%s", log.String())
+	}
+	// The pre-existing benchmarks were still compared.
+	if !strings.Contains(log.String(), "benchmarks within") {
+		t.Errorf("existing benchmarks not compared:\n%s", log.String())
+	}
+
+	// And a regression in an existing benchmark still fails even when
+	// new benchmarks are present.
+	regressed := strings.Replace(withNew, "2000	     8000.5 ns/op", "2000	    99000.0 ns/op", 1)
+	log.Reset()
+	if code := run(strings.NewReader(regressed), basePath, "", "", 0.25, &log); code != 1 {
+		t.Fatalf("regression alongside new benchmark: exit %d, want 1", code)
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	basePath := filepath.Join(dir, "base.json")

@@ -41,6 +41,7 @@ import (
 	"github.com/halk-kg/halk/internal/halk"
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/obs"
+	"github.com/halk-kg/halk/internal/resil"
 	"github.com/halk-kg/halk/internal/serve"
 	"github.com/halk-kg/halk/internal/shard"
 )
@@ -63,30 +64,54 @@ func main() {
 		drain   = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
 		pprofAt = flag.String("pprof-addr", "", "separate debug listen address exposing /debug/pprof/ and /metrics (empty disables)")
 		slowQ   = flag.Duration("slow-query", 0, "log queries slower than this with their per-stage trace (0 disables)")
+
+		hedge        = flag.Duration("hedge-delay", 0, "hedged-scan delay floor: re-issue a shard scan not back after max(this, the shard's p99 scan latency) and take the first result (0 disables; requires -shards)")
+		breaker      = flag.Bool("breaker", false, "guard each shard with a circuit breaker: shards that keep failing are skipped up front until a half-open probe succeeds (requires -shards)")
+		brkWindow    = flag.Int("breaker-window", 16, "circuit breaker rolling outcome-window size")
+		brkRate      = flag.Float64("breaker-failure-rate", 0.5, "window failure fraction that opens the breaker")
+		brkMisses    = flag.Int("breaker-consecutive-misses", 4, "consecutive shard failures that open the breaker (negative disables)")
+		brkOpen      = flag.Duration("breaker-open", 250*time.Millisecond, "minimum breaker cool-down; each failed reopen probe adds full-jitter exponential extra")
+		brkOpenMax   = flag.Duration("breaker-open-max", 15*time.Second, "cap on the breaker cool-down's jittered extra")
+		maxQueueWait = flag.Duration("max-queue-wait", 0, "admission control: shed requests with 429 when the expected worker-queue wait exceeds min(this, the request deadline) (0 disables)")
+		ckptRetries  = flag.Int("ckpt-retries", 3, "checkpoint-load attempts before giving up (full-jitter exponential backoff between attempts)")
 	)
 	flag.Parse()
 
-	f, err := os.Open(*ckpt)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Transient open/read failures (checkpoint still being written by
+	// halk-train, network filesystems) retry with full-jitter backoff
+	// instead of failing the process on the first miss.
 	var ds *kg.Dataset
-	m, hdr, err := halk.LoadCheckpoint(f, func(hdr halk.CheckpointHeader) (*kg.Graph, error) {
-		switch hdr.Dataset {
-		case "FB15k":
-			ds = kg.SynthFB15k(hdr.Seed)
-		case "FB237":
-			ds = kg.SynthFB237(hdr.Seed)
-		case "NELL":
-			ds = kg.SynthNELL(hdr.Seed)
-		default:
-			return nil, fmt.Errorf("unknown dataset %q in checkpoint", hdr.Dataset)
+	var m *halk.Model
+	var hdr halk.CheckpointHeader
+	loadBackoff := resil.NewBackoff(200*time.Millisecond, 5*time.Second, time.Now().UnixNano())
+	err := resil.Retry(context.Background(), *ckptRetries, loadBackoff, func() error {
+		f, err := os.Open(*ckpt)
+		if err != nil {
+			log.Printf("checkpoint load: %v (will retry)", err)
+			return err
 		}
-		return ds.Train, nil
+		defer f.Close()
+		ds = nil
+		m, hdr, err = halk.LoadCheckpoint(f, func(hdr halk.CheckpointHeader) (*kg.Graph, error) {
+			switch hdr.Dataset {
+			case "FB15k":
+				ds = kg.SynthFB15k(hdr.Seed)
+			case "FB237":
+				ds = kg.SynthFB237(hdr.Seed)
+			case "NELL":
+				ds = kg.SynthNELL(hdr.Seed)
+			default:
+				return nil, fmt.Errorf("unknown dataset %q in checkpoint", hdr.Dataset)
+			}
+			return ds.Train, nil
+		})
+		if err != nil {
+			log.Printf("checkpoint load: %v (will retry)", err)
+		}
+		return err
 	})
-	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("checkpoint load failed after %d attempts: %v", *ckptRetries, err)
 	}
 	log.Printf("loaded %s model (d=%d) trained on %s: %d entities, %d relations",
 		m.Name(), hdr.Config.Dim, hdr.Dataset, ds.Train.NumEntities(), ds.Train.NumRelations())
@@ -107,18 +132,41 @@ func main() {
 		DefaultTimeout: *timeout,
 		Metrics:        reg,
 		SlowQuery:      *slowQ,
+		MaxQueueWait:   *maxQueueWait,
+	}
+	if *maxQueueWait > 0 {
+		log.Printf("admission control enabled: shedding at expected queue wait > %v", *maxQueueWait)
 	}
 	if *approx {
 		cfg.Approx = m.NewAnswerIndex(ann.DefaultConfig(hdr.Seed))
 		log.Print("ANN answer index built; \"mode\": \"approx\" enabled")
 	}
 	if *shards > 0 {
-		ranker, err := m.NewShardedRanker(shard.Options{Shards: *shards, ShardTimeout: *shardTO, Metrics: reg})
+		opts := shard.Options{
+			Shards:       *shards,
+			ShardTimeout: *shardTO,
+			Metrics:      reg,
+			HedgeDelay:   *hedge,
+		}
+		if *breaker {
+			opts.Breaker = &resil.BreakerConfig{
+				Window:            *brkWindow,
+				FailureRate:       *brkRate,
+				ConsecutiveMisses: *brkMisses,
+				OpenBase:          *brkOpen,
+				OpenMax:           *brkOpenMax,
+				Seed:              time.Now().UnixNano(),
+			}
+		}
+		ranker, err := m.NewShardedRanker(opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		cfg.Ranker = ranker
-		log.Printf("sharded ranking engine built: %d shards, shard timeout %v", ranker.NumShards(), *shardTO)
+		log.Printf("sharded ranking engine built: %d shards, shard timeout %v, hedge delay %v, breakers %v",
+			ranker.NumShards(), *shardTO, *hedge, *breaker)
+	} else if *hedge > 0 || *breaker {
+		log.Fatal("-hedge-delay and -breaker require -shards > 0")
 	}
 	srv, err := serve.New(cfg)
 	if err != nil {

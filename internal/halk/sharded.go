@@ -103,6 +103,10 @@ func (r *ShardedRanker) prepare(n *query.Node) []shard.Arc {
 	return pre
 }
 
+// Close drains the engine's in-flight scan goroutines (scatter and
+// hedge). Call on shutdown after queries have stopped being issued.
+func (r *ShardedRanker) Close() { r.eng.Close() }
+
 // NumShards reports the engine's shard count.
 func (r *ShardedRanker) NumShards() int { return r.eng.NumShards() }
 

@@ -1,0 +1,102 @@
+// Package resil holds the serving resilience primitives shared by the
+// shard engine and the HTTP serving layer: full-jitter exponential
+// backoff (reused by the circuit breaker's reopen probe and by
+// halk-serve's checkpoint load), per-shard circuit breakers, and a
+// deterministic fault-injection harness driving the chaos tests.
+//
+// Everything here is dependency-free and safe for concurrent use; the
+// clock and the jitter source are injectable so every state transition
+// is unit-testable without sleeping.
+package resil
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes capped full-jitter exponential delays: attempt n
+// draws uniformly from [0, min(Max, Base·2ⁿ)). Full jitter (rather than
+// jittering around the exponential midpoint) decorrelates retry storms
+// best — see the AWS architecture blog analysis the strategy is named
+// after. The zero value is not usable; construct with NewBackoff.
+type Backoff struct {
+	base, max time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Default backoff envelope when NewBackoff is given zero values.
+const (
+	DefaultBackoffBase = 100 * time.Millisecond
+	DefaultBackoffMax  = 30 * time.Second
+)
+
+// NewBackoff returns a backoff with the given first-attempt cap and
+// overall cap (zeros mean DefaultBackoffBase/DefaultBackoffMax). The
+// seed makes the jitter deterministic for tests; use e.g.
+// time.Now().UnixNano() in production wiring.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Cap returns the exponential envelope for the given attempt (0-based):
+// min(Max, Base·2^attempt). This is the exclusive upper bound Delay
+// draws under.
+func (b *Backoff) Cap(attempt int) time.Duration {
+	d := b.base
+	for i := 0; i < attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	return d
+}
+
+// Delay returns the attempt-th full-jitter delay: uniform in
+// [0, Cap(attempt)).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	c := b.Cap(attempt)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Duration(b.rng.Int63n(int64(c)))
+}
+
+// Retry runs fn up to attempts times, sleeping a full-jitter backoff
+// between failures. It returns nil on the first success and the last
+// error otherwise; a context cancelled mid-wait aborts immediately,
+// still returning fn's last error (the cause), not the context error.
+func Retry(ctx context.Context, attempts int, b *Backoff, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		t := time.NewTimer(b.Delay(i))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+	}
+	return err
+}

@@ -1,0 +1,110 @@
+package resil
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffCapDoublesAndClamps(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, 1*time.Second, 1)
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1 * time.Second, 1 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Cap(i); got != w {
+			t.Errorf("Cap(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffDelayWithinEnvelope(t *testing.T) {
+	b := NewBackoff(50*time.Millisecond, 400*time.Millisecond, 7)
+	for attempt := 0; attempt < 6; attempt++ {
+		cap := b.Cap(attempt)
+		for i := 0; i < 200; i++ {
+			d := b.Delay(attempt)
+			if d < 0 || d >= cap {
+				t.Fatalf("attempt %d: delay %v outside [0, %v)", attempt, d, cap)
+			}
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	if b.Cap(0) != DefaultBackoffBase {
+		t.Errorf("zero base: Cap(0) = %v, want %v", b.Cap(0), DefaultBackoffBase)
+	}
+	if b.Cap(30) != DefaultBackoffMax {
+		t.Errorf("zero max: Cap(30) = %v, want %v", b.Cap(30), DefaultBackoffMax)
+	}
+	// Max below base clamps up so Delay never gets an empty interval.
+	b2 := NewBackoff(time.Second, time.Millisecond, 1)
+	if b2.Cap(0) != time.Second {
+		t.Errorf("max<base: Cap(0) = %v, want 1s", b2.Cap(0))
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	b := NewBackoff(time.Microsecond, 10*time.Microsecond, 3)
+	calls := 0
+	err := Retry(context.Background(), 5, b, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+}
+
+func TestRetryReturnsLastError(t *testing.T) {
+	b := NewBackoff(time.Microsecond, 10*time.Microsecond, 3)
+	sentinel := errors.New("persistent")
+	calls := 0
+	err := Retry(context.Background(), 3, b, func() error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Retry = %v, want sentinel", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+}
+
+func TestRetryAbortsOnContextCancel(t *testing.T) {
+	b := NewBackoff(time.Hour, time.Hour, 3) // would sleep forever
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("failed")
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx, 5, b, func() error { return sentinel })
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("Retry = %v, want the fn error as cause", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Retry did not abort on context cancellation")
+	}
+}
+
+func TestRetryAtLeastOneAttempt(t *testing.T) {
+	b := NewBackoff(time.Microsecond, time.Microsecond, 1)
+	calls := 0
+	if err := Retry(context.Background(), 0, b, func() error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("attempts<1 ran fn %d times, want 1", calls)
+	}
+}

@@ -1,0 +1,212 @@
+package resil
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manual time source so breaker transitions are tested
+// without sleeping.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:            8,
+		FailureRate:       0.5,
+		MinSamples:        4,
+		ConsecutiveMisses: 3,
+		OpenBase:          100 * time.Millisecond,
+		OpenMax:           time.Second,
+		Seed:              42,
+		Clock:             clk.Now,
+	})
+}
+
+func TestBreakerOpensOnConsecutiveMisses(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after 2 misses = %v, want closed", b.State())
+	}
+	b.Failure() // third consecutive miss trips
+	if b.State() != Open {
+		t.Fatalf("state after 3 consecutive misses = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before the cool-down")
+	}
+	if s := b.Stats(); s.Opens != 1 || s.State != "open" {
+		t.Fatalf("stats = %+v, want opens=1 state=open", s)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	// Alternate misses and successes: the consecutive trigger must never
+	// fire, and the 50% rate needs MinSamples first.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Open {
+		// 4 failures / 5 outcomes = 80% ≥ 50% with MinSamples=4 → open.
+		t.Fatalf("state = %v, want open via failure rate", b.State())
+	}
+}
+
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		Window: 8, FailureRate: 0.5, MinSamples: 4,
+		ConsecutiveMisses: -1, // disable the consecutive trigger
+		OpenBase:          100 * time.Millisecond, OpenMax: time.Second,
+		Seed: 42, Clock: clk.Now,
+	})
+	// 3 failures in a row do not trip (consecutive disabled, <MinSamples).
+	b.Failure()
+	b.Failure()
+	b.Failure()
+	if b.State() != Open && b.State() != Closed {
+		t.Fatalf("unexpected state %v", b.State())
+	}
+	if b.State() == Open {
+		t.Fatal("tripped below MinSamples")
+	}
+	b.Success() // 3/4 = 75% ≥ 50% with 4 samples → trips on next outcome check
+	b.Failure() // 4/5 = 80%
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open at 80%% window failure rate", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	if b.State() != Open {
+		t.Fatal("did not open")
+	}
+	// Before the cool-down: refused. Open duration is in
+	// [OpenBase, OpenBase+Cap(0)) = [100ms, 200ms).
+	clk.Advance(50 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("allowed during cool-down")
+	}
+	clk.Advance(200 * time.Millisecond) // safely past the jittered bound
+	if !b.Allow() {
+		t.Fatal("reopen probe refused after the cool-down")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused after recovery")
+	}
+}
+
+func TestBreakerProbeFailureReopensWithLongerBackoff(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.Advance(300 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Failure() // probe fails → reopen
+	if b.State() != Open {
+		t.Fatalf("state after probe failure = %v, want open", b.State())
+	}
+	if s := b.Stats(); s.Opens != 2 {
+		t.Fatalf("opens = %d, want 2", s.Opens)
+	}
+	// The second open lasts at least OpenBase again.
+	clk.Advance(50 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("allowed during second cool-down")
+	}
+	// Cap(1) = 200ms ⇒ open < OpenBase+200ms = 300ms; advance past it.
+	clk.Advance(300 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe refused after extended cool-down")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatal("did not close after successful second probe")
+	}
+	// The streak reset: a fresh trip starts from the base envelope again.
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.Advance(300 * time.Millisecond) // ≥ OpenBase + Cap(0)
+	if !b.Allow() {
+		t.Fatal("probe after re-trip refused; backoff streak did not reset on close")
+	}
+}
+
+func TestBreakerLateOutcomesInOpenIgnored(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	opens := b.Stats().Opens
+	b.Failure() // a straggler reports after the trip
+	b.Success()
+	if got := b.Stats().Opens; got != opens {
+		t.Fatalf("late outcomes changed opens: %d → %d", opens, got)
+	}
+	if b.State() != Open {
+		t.Fatalf("late success flipped state to %v", b.State())
+	}
+}
+
+func TestBreakerDefaultsUsable(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if !b.Allow() {
+		t.Fatal("default breaker refused first call")
+	}
+	for i := 0; i < 4; i++ { // default ConsecutiveMisses = 4
+		b.Failure()
+	}
+	if b.State() != Open {
+		t.Fatalf("default breaker state after 4 misses = %v, want open", b.State())
+	}
+}

@@ -1,0 +1,130 @@
+package resil
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInjectorNilAndUnarmedAreInert(t *testing.T) {
+	var nilIn *Injector
+	if err := nilIn.Fire("any", 0); err != nil {
+		t.Fatalf("nil injector Fire = %v", err)
+	}
+	if n := nilIn.Fired("any"); n != 0 {
+		t.Fatalf("nil injector Fired = %d", n)
+	}
+	in := NewInjector()
+	if err := in.Fire("unarmed", 3); err != nil {
+		t.Fatalf("unarmed Fire = %v", err)
+	}
+}
+
+func TestInjectorErrorFault(t *testing.T) {
+	in := NewInjector()
+	sentinel := errors.New("boom")
+	in.Set("stage", 1, Fault{Kind: KindError, Err: sentinel})
+
+	if err := in.Fire("stage", 0); err != nil {
+		t.Fatalf("non-matching shard fired: %v", err)
+	}
+	if err := in.Fire("stage", 1); !errors.Is(err, sentinel) {
+		t.Fatalf("Fire = %v, want sentinel", err)
+	}
+	if n := in.Fired("stage"); n != 1 {
+		t.Fatalf("Fired = %d, want 1", n)
+	}
+
+	// Default error when none is given.
+	in2 := NewInjector()
+	in2.Set("s", AnyShard, Fault{Kind: KindError})
+	if err := in2.Fire("s", 7); !errors.Is(err, ErrInjected) {
+		t.Fatalf("default error = %v, want ErrInjected", err)
+	}
+}
+
+func TestInjectorCountLimits(t *testing.T) {
+	in := NewInjector()
+	in.Set("s", AnyShard, Fault{Kind: KindError, Count: 2})
+	if err := in.Fire("s", 0); err == nil {
+		t.Fatal("first fire inert")
+	}
+	if err := in.Fire("s", 1); err == nil {
+		t.Fatal("second fire inert")
+	}
+	if err := in.Fire("s", 2); err != nil {
+		t.Fatalf("exhausted fault still fired: %v", err)
+	}
+	if n := in.Fired("s"); n != 2 {
+		t.Fatalf("Fired = %d, want 2", n)
+	}
+}
+
+func TestInjectorDelayFault(t *testing.T) {
+	in := NewInjector()
+	in.Set("s", 0, Fault{Kind: KindDelay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := in.Fire("s", 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delay fault slept only %v", elapsed)
+	}
+}
+
+func TestInjectorPanicFault(t *testing.T) {
+	in := NewInjector()
+	in.Set("s", AnyShard, Fault{Kind: KindPanic})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic fault did not panic")
+		}
+		if msg, ok := v.(string); !ok || !strings.Contains(msg, "injected panic") {
+			t.Fatalf("panic value = %v", v)
+		}
+	}()
+	_ = in.Fire("s", 4)
+}
+
+func TestInjectorClear(t *testing.T) {
+	in := NewInjector()
+	in.Set("s", AnyShard, Fault{Kind: KindError})
+	if err := in.Fire("s", 0); err == nil {
+		t.Fatal("armed fault inert")
+	}
+	in.Clear()
+	if err := in.Fire("s", 0); err != nil {
+		t.Fatalf("cleared injector still fired: %v", err)
+	}
+	if n := in.Fired("s"); n != 1 {
+		t.Fatalf("Clear reset the fired counter: %d", n)
+	}
+}
+
+func TestInjectorScanErrHook(t *testing.T) {
+	in := NewInjector()
+	in.Set("shard.scan", 2, Fault{Kind: KindError})
+	hook := in.ScanErrHook("shard.scan")
+	if err := hook(1); err != nil {
+		t.Fatalf("hook fired for wrong shard: %v", err)
+	}
+	if err := hook(2); err == nil {
+		t.Fatal("hook inert for armed shard")
+	}
+}
+
+func TestInjectorFirstLiveRuleWins(t *testing.T) {
+	in := NewInjector()
+	e1, e2 := errors.New("one"), errors.New("two")
+	in.Set("s", AnyShard, Fault{Kind: KindError, Err: e1, Count: 1})
+	in.Set("s", AnyShard, Fault{Kind: KindError, Err: e2})
+	if err := in.Fire("s", 0); !errors.Is(err, e1) {
+		t.Fatalf("first fire = %v, want rule one", err)
+	}
+	// Rule one exhausted: rule two takes over.
+	if err := in.Fire("s", 0); !errors.Is(err, e2) {
+		t.Fatalf("second fire = %v, want rule two", err)
+	}
+}

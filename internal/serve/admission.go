@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/halk-kg/halk/internal/obs"
+)
+
+// ewmaAlpha is the smoothing factor of the admission gate's service-time
+// estimate: each observation contributes 20%, so the estimate tracks
+// load shifts within a handful of requests without chasing outliers.
+const ewmaAlpha = 0.2
+
+// admission is the deadline-aware load-shedding gate in front of the
+// worker pool. It estimates how long a new request would wait for a
+// worker — queued requests beyond the pool size, times the EWMA service
+// time — and sheds the request up front (HTTP 429 + Retry-After) when
+// that wait exceeds the configured bound or the request's own remaining
+// deadline. Shedding at admission costs microseconds; the alternative is
+// a request that queues, times out, and wastes a worker slot the moment
+// one frees up.
+type admission struct {
+	workers int
+	maxWait time.Duration
+
+	inflight atomic.Int64 // admitted requests not yet released
+
+	mu     sync.Mutex
+	ewmaMs float64 // EWMA of observed ranking service time
+
+	shed *obs.Counter
+}
+
+func newAdmission(workers int, maxWait time.Duration, reg *obs.Registry) *admission {
+	g := &admission{
+		workers: workers,
+		maxWait: maxWait,
+		shed:    reg.Counter("halk_admission_shed_total", "Requests shed at admission with 429 (expected queue wait exceeded the deadline)."),
+	}
+	reg.GaugeFunc("halk_admission_inflight", "Admitted requests currently queued or ranking.",
+		func() float64 { return float64(g.inflight.Load()) })
+	return g
+}
+
+// admit decides whether the request may enter the worker-pool queue.
+// Admitted requests receive a release func that MUST be called exactly
+// once when the request leaves the pool; pass the observed ranking
+// service time in milliseconds (or <= 0 to leave the estimate alone —
+// e.g. when the request failed before ranking). Shed requests receive
+// ok=false and the predicted wait to surface as Retry-After.
+func (g *admission) admit(ctx context.Context) (release func(serviceMs float64), retryAfter time.Duration, ok bool) {
+	inflight := g.inflight.Add(1)
+	queued := inflight - int64(g.workers)
+	if queued > 0 {
+		g.mu.Lock()
+		ewma := g.ewmaMs
+		g.mu.Unlock()
+		wait := time.Duration(float64(queued) / float64(g.workers) * ewma * float64(time.Millisecond))
+		budget := g.maxWait
+		if deadline, has := ctx.Deadline(); has {
+			if remaining := time.Until(deadline); remaining < budget {
+				budget = remaining
+			}
+		}
+		if wait > budget {
+			g.inflight.Add(-1)
+			g.shed.Inc()
+			return nil, wait, false
+		}
+	}
+	return func(serviceMs float64) {
+		g.inflight.Add(-1)
+		if serviceMs > 0 {
+			g.mu.Lock()
+			if g.ewmaMs == 0 {
+				g.ewmaMs = serviceMs
+			} else {
+				g.ewmaMs = ewmaAlpha*serviceMs + (1-ewmaAlpha)*g.ewmaMs
+			}
+			g.mu.Unlock()
+		}
+	}, 0, true
+}
+
+// snapshot returns the gate's /v1/stats view.
+func (g *admission) snapshot() *admissionSnapshot {
+	g.mu.Lock()
+	ewma := g.ewmaMs
+	g.mu.Unlock()
+	return &admissionSnapshot{
+		MaxQueueWaitMs: float64(g.maxWait) / float64(time.Millisecond),
+		Inflight:       g.inflight.Load(),
+		Shed:           g.shed.Value(),
+		ServiceEwmaMs:  ewma,
+	}
+}
+
+// admissionSnapshot is the /v1/stats view of the admission gate.
+type admissionSnapshot struct {
+	MaxQueueWaitMs float64 `json:"max_queue_wait_ms"`
+	Inflight       int64   `json:"inflight"`
+	Shed           uint64  `json:"shed"`
+	ServiceEwmaMs  float64 `json:"service_ewma_ms"`
+}

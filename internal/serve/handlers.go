@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/halk-kg/halk/internal/kg"
@@ -80,6 +81,22 @@ type debugInfo struct {
 type errorResponse struct {
 	Error string `json:"error"`
 }
+
+// Fault-injection stages: the seam names Config.Faults fires at. The
+// shard value passed to Fire is always 0 — these are per-request seams,
+// not per-shard ones (shard-level faults go through shard.Options.ScanErr).
+const (
+	// FaultStageCacheGet fires on every answer-cache lookup. An injected
+	// error degrades to a cache miss; an injected panic surfaces the
+	// handler recovery path.
+	FaultStageCacheGet = "serve.cache.get"
+	// FaultStageCachePut fires before storing an answer; an injected
+	// error skips the store (the response is still served).
+	FaultStageCachePut = "serve.cache.put"
+	// FaultStageRank fires on a pool worker before ranking; an injected
+	// panic exercises the worker recovery path.
+	FaultStageRank = "serve.rank"
+)
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -159,13 +176,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tr.Begin(obs.StageCacheLookup)
-	cached, ok := s.cache.Get(cacheKey)
+	var cached []Answer
+	var ok bool
+	if err := s.cfg.Faults.Fire(FaultStageCacheGet, 0); err == nil {
+		// An injected cache-get error degrades to a miss: the request is
+		// answered by ranking, never failed by its cache.
+		cached, ok = s.cache.Get(cacheKey)
+	}
 	tr.End()
 	if ok {
 		resp.Cached = true
 		resp.Answers = cached
 		s.finish(w, &resp, tr, debugTrace)
 		return
+	}
+
+	// svcMs is the ranking service time this request observed, fed back
+	// into the admission gate's EWMA on release (0 = request never ranked).
+	var svcMs float64
+	if s.gate != nil {
+		release, retryAfter, admitted := s.gate.admit(ctx)
+		if !admitted {
+			secs := int(retryAfter/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			fail(http.StatusTooManyRequests,
+				"expected queue wait %v exceeds the request deadline; retry later", retryAfter.Round(time.Millisecond))
+			return
+		}
+		defer func() { release(svcMs) }()
 	}
 
 	// The trace rides the context so the ranking layers (worker pool,
@@ -177,10 +215,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var rankErr error
 	poolErr := s.pool.Do(ctx, func() {
 		tr.End() // a worker picked the task up: queue wait is over
+		svcStart := time.Now()
 		answers, sharded, rankErr = s.rank(ctx, root, k, mode)
+		svcMs = float64(time.Since(svcStart)) / float64(time.Millisecond)
 	})
 	if err := firstErr(poolErr, rankErr); err != nil {
+		var pe *PanicError
 		switch {
+		case errors.As(err, &pe):
+			// The worker recovered the panic and survives; this request is
+			// the only casualty.
+			s.metrics.workerPanics.Inc()
+			s.cfg.PanicLog.Printf("serve: recovered panic on ranking worker: %v\n%s", pe.Value, pe.Stack)
+			fail(http.StatusInternalServerError, "internal error while ranking")
 		case errors.Is(err, errPoolClosed):
 			fail(http.StatusServiceUnavailable, "server is draining")
 		case errors.Is(err, shard.ErrAllShardsSkipped):
@@ -196,10 +243,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if sharded != nil && sharded.Partial {
 		// A partial ranking is a degraded answer, valid for this response
 		// only: caching it would keep serving the degraded list even once
-		// the slow shard recovers.
+		// the slow shard recovers. Breaker-skipped shards and lost hedges
+		// surface as Partial too, so results produced under an open
+		// breaker are likewise never cached.
 		resp.Partial = true
 		resp.ShardsAnswered = sharded.Answered
-	} else {
+	} else if err := s.cfg.Faults.Fire(FaultStageCachePut, 0); err == nil {
+		// An injected cache-put error skips the store; the response is
+		// still served.
 		s.cache.Put(cacheKey, answers)
 	}
 	resp.Answers = answers
@@ -296,6 +347,9 @@ func (s *Server) answerVersion(mode string) uint64 {
 // ANN-pruned. The *shard.Result is non-nil only on the sharded path.
 func (s *Server) rank(ctx context.Context, root *query.Node, k int, mode string) ([]Answer, *shard.Result, error) {
 	tr := obs.FromContext(ctx)
+	if err := s.cfg.Faults.Fire(FaultStageRank, 0); err != nil {
+		return nil, nil, err
+	}
 	if mode == "approx" {
 		begin := time.Now()
 		ids := s.cfg.Approx.TopKApprox(root, k)
@@ -395,10 +449,13 @@ type statsResponse struct {
 	ApproxOn  bool                        `json:"approx_enabled"`
 	Pool      poolSnapshot                `json:"candidate_pool"`
 	// NumShards and Shards describe the sharded ranking engine when one
-	// is configured: shard count, ID ranges, scan counts, deadline skips
-	// and scan-latency summaries per shard.
+	// is configured: shard count, ID ranges, scan counts, deadline skips,
+	// circuit-breaker and hedging counters, and scan-latency summaries
+	// per shard.
 	NumShards int                `json:"num_shards,omitempty"`
 	Shards    []shard.ShardStats `json:"shards,omitempty"`
+	// Admission describes the load-shedding gate when one is configured.
+	Admission *admissionSnapshot `json:"admission,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -417,6 +474,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Ranker != nil {
 		resp.NumShards = s.cfg.Ranker.NumShards()
 		resp.Shards = s.cfg.Ranker.ShardStats()
+	}
+	if s.gate != nil {
+		resp.Admission = s.gate.snapshot()
 	}
 	writeJSON(w, http.StatusOK, resp)
 	s.metrics.observe("/v1/stats", time.Since(start), false)

@@ -22,6 +22,11 @@ type metrics struct {
 	stages    map[string]*obs.Histogram
 	poolSizes *obs.Histogram
 	slow      *obs.Counter
+	// workerPanics counts panics recovered on pool workers (the request
+	// got a 500); handlerPanics counts panics recovered at the HTTP
+	// middleware (e.g. a poisoned cache layer).
+	workerPanics  *obs.Counter
+	handlerPanics *obs.Counter
 }
 
 type endpointMetrics struct {
@@ -38,6 +43,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 		stages:    make(map[string]*obs.Histogram),
 		poolSizes: reg.Histogram("halk_approx_pool_size", "Candidate-pool sizes of approx-mode queries.", obs.SizeBuckets),
 		slow:      reg.Counter("halk_slow_queries_total", "Queries slower than the slow-query threshold."),
+		workerPanics: reg.Counter("halk_panics_total",
+			"Panics recovered while serving, by recovery site.", obs.L("where", "worker")),
+		handlerPanics: reg.Counter("halk_panics_total",
+			"Panics recovered while serving, by recovery site.", obs.L("where", "handler")),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"strings"
 	"sync"
@@ -151,7 +152,11 @@ func TestDebugTraceStagesSumToTotal(t *testing.T) {
 		if qr.Debug.TotalMs <= 0 {
 			t.Fatalf("total_ms = %v", qr.Debug.TotalMs)
 		}
-		if sum < 0.9*qr.Debug.TotalMs || sum > 1.1*qr.Debug.TotalMs {
+		// 10% relative, with an absolute floor: on a sub-millisecond test
+		// query the untraced slack between stages (scheduler wakeups,
+		// handler glue) is tens of microseconds of pure noise, which a
+		// purely relative bound flags spuriously.
+		if gap := math.Abs(sum - qr.Debug.TotalMs); gap > 0.1*qr.Debug.TotalMs && gap > 0.25 {
 			t.Errorf("stage sum %.4fms vs total %.4fms: outside 10%% (%+v)", sum, qr.Debug.TotalMs, qr.Debug.Trace)
 		}
 		// A plain query carries no debug payload.

@@ -23,12 +23,14 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/model"
 	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/resil"
 	"github.com/halk-kg/halk/internal/shard"
 	"github.com/halk-kg/halk/internal/sparql"
 )
@@ -125,6 +127,19 @@ type Config struct {
 	SlowQuery time.Duration
 	// SlowLog receives slow-query lines; nil means log.Default().
 	SlowLog *log.Logger
+	// MaxQueueWait enables admission control: a request whose expected
+	// worker-queue wait exceeds min(MaxQueueWait, its own remaining
+	// deadline) is shed up front with 429 and a Retry-After hint instead
+	// of queueing toward a timeout. 0 disables the gate.
+	MaxQueueWait time.Duration
+	// Faults is the fault-injection harness: when non-nil, the serving
+	// pipeline fires it at the cache and ranking seams (see the
+	// FaultStage* constants) so chaos tests can inject panics, stalls and
+	// errors. Nil — the production configuration — is inert.
+	Faults *resil.Injector
+	// PanicLog receives the stack traces of recovered panics (worker
+	// pool and HTTP handlers); nil means log.Default().
+	PanicLog *log.Logger
 }
 
 // DefaultCacheSize is the answer-cache capacity when Config leaves
@@ -139,6 +154,7 @@ type Server struct {
 	pool    *workerPool
 	cache   *answerCache
 	metrics *metrics
+	gate    *admission // nil when MaxQueueWait is 0
 	workers int
 	mux     *http.ServeMux
 }
@@ -176,6 +192,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SlowLog == nil {
 		cfg.SlowLog = log.Default()
 	}
+	if cfg.PanicLog == nil {
+		cfg.PanicLog = log.Default()
+	}
 	obs.RegisterProcessMetrics(cfg.Metrics)
 	cfg.Metrics.Gauge("halk_workers", "Ranking worker pool size.").Set(float64(cfg.Workers))
 	cfg.Metrics.Gauge("halk_entities", "Entities in the served model.").Set(float64(cfg.Entities.Len()))
@@ -189,11 +208,31 @@ func New(cfg Config) (*Server, error) {
 		workers: cfg.Workers,
 		mux:     http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/v1/query", s.handleQuery)
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	if cfg.MaxQueueWait > 0 {
+		s.gate = newAdmission(cfg.Workers, cfg.MaxQueueWait, cfg.Metrics)
+	}
+	s.mux.HandleFunc("/v1/query", s.recoverHandler("/v1/query", s.handleQuery))
+	s.mux.HandleFunc("/v1/healthz", s.recoverHandler("/v1/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/v1/stats", s.recoverHandler("/v1/stats", s.handleStats))
 	s.mux.Handle("/metrics", cfg.Metrics.Handler())
 	return s, nil
+}
+
+// recoverHandler is the outermost defence line: a panic escaping a
+// handler — including faults injected into the cache layer — is
+// recovered, counted, stack-logged, and answered with a 500 instead of
+// crashing the connection's goroutine (which would kill the process).
+func (s *Server) recoverHandler(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.handlerPanics.Inc()
+				s.cfg.PanicLog.Printf("serve: recovered panic in %s handler: %v\n%s", name, v, debug.Stack())
+				writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal server error"})
+			}
+		}()
+		h(w, r)
+	}
 }
 
 // Metrics returns the registry the server's counters live on — the one
@@ -216,7 +255,14 @@ func (s *Server) Workers() int { return s.workers }
 // versioning.
 func (s *Server) FlushCache() { s.cache.Flush() }
 
-// Close drains the worker pool: in-flight rankings finish, queued and
-// future requests are refused with 503. Shut the http.Server down first
-// so no new requests are accepted while the pool drains.
-func (s *Server) Close() { s.pool.Close() }
+// Close drains the worker pool — in-flight rankings finish, queued and
+// future requests are refused with 503 — then drains the ranker's scan
+// goroutines (hedged and scatter scans that outlived their gather), so
+// a closed server leaks nothing. Shut the http.Server down first so no
+// new requests are accepted while the pool drains.
+func (s *Server) Close() {
+	s.pool.Close()
+	if c, ok := s.cfg.Ranker.(interface{ Close() }); ok {
+		c.Close()
+	}
+}

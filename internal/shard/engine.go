@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,13 +14,15 @@ import (
 	"github.com/halk-kg/halk/internal/ann"
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/obs"
+	"github.com/halk-kg/halk/internal/resil"
 )
 
 // ErrNoSnapshot is returned by ranking calls before the first Swap.
 var ErrNoSnapshot = errors.New("shard: no snapshot published (call Swap first)")
 
-// ErrAllShardsSkipped is returned when every shard missed its deadline,
-// so not even a partial result exists.
+// ErrAllShardsSkipped is returned when every shard was skipped — deadline
+// miss, scan fault, or open circuit breaker — so not even a partial
+// result exists.
 var ErrAllShardsSkipped = errors.New("shard: all shards missed their deadline")
 
 // Options configures an Engine.
@@ -40,6 +45,26 @@ type Options struct {
 	// the shard index. Test instrumentation: a hook that sleeps past
 	// ShardTimeout turns that shard into a deadline miss.
 	ScanHook func(shardIdx int)
+	// ScanErr, when set, is called after ScanHook with the shard index; a
+	// non-nil return fails that shard's scan (skip + breaker failure)
+	// without touching the snapshot. Fault-injection seam — see
+	// resil.Injector.ScanErrHook.
+	ScanErr func(shardIdx int) error
+	// Breaker, when non-nil, guards each shard slot with a circuit
+	// breaker built from this config: shards that keep missing their
+	// deadline (or panicking) are skipped up front until a half-open
+	// probe succeeds. Breaker state is exported per shard via Stats and
+	// the halk_shard_breaker_state gauge.
+	Breaker *resil.BreakerConfig
+	// HedgeDelay enables hedged scans: when a shard's scan has not
+	// returned after max(HedgeDelay, its observed p99 scan latency) —
+	// capped at ShardTimeout — a second identical scan is issued and the
+	// first result wins. Snapshots are immutable, so the hedge returns
+	// byte-identical data. 0 disables hedging.
+	HedgeDelay time.Duration
+	// PanicLog receives the stack trace of recovered scan panics; nil
+	// means the process-default logger.
+	PanicLog *log.Logger
 }
 
 // Engine is the sharded ranking engine. All methods are safe for
@@ -56,9 +81,23 @@ type Engine struct {
 	stats  []shardStat
 	heaps  []sync.Pool // per-shard scratch heaps, reused across scans
 
+	// breakers is one circuit breaker per shard slot (nil when
+	// Options.Breaker was nil: every scan is always admitted).
+	breakers []*resil.Breaker
+	// hedgeDelay is the hedged-scan floor (Options.HedgeDelay); 0
+	// disables hedging.
+	hedgeDelay time.Duration
+	panicLog   *log.Logger
+
+	// scanWG tracks every scan goroutine — scatter and hedge alike — so
+	// Close can await stragglers instead of leaking them.
+	scanWG sync.WaitGroup
+
 	// slow, when set, is called at the start of each shard scan — a test
 	// hook for injecting a wedged shard (Options.ScanHook).
 	slow func(shardIdx int)
+	// scanErr is the error-returning fault seam (Options.ScanErr).
+	scanErr func(shardIdx int) error
 }
 
 // NewEngine builds an engine over n shards; publish a table with Swap
@@ -72,7 +111,7 @@ func NewEngine(p Params, opts Options) *Engine {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Engine{
+	e := &Engine{
 		p:            p,
 		n:            n,
 		annCfg:       opts.ANN,
@@ -80,9 +119,33 @@ func NewEngine(p Params, opts Options) *Engine {
 		reg:          reg,
 		stats:        newShardStats(reg, n),
 		heaps:        make([]sync.Pool, n),
+		hedgeDelay:   opts.HedgeDelay,
+		panicLog:     opts.PanicLog,
 		slow:         opts.ScanHook,
+		scanErr:      opts.ScanErr,
 	}
+	if opts.Breaker != nil {
+		e.breakers = make([]*resil.Breaker, n)
+		for i := range e.breakers {
+			b := resil.NewBreaker(*opts.Breaker)
+			e.breakers[i] = b
+			reg.GaugeFunc("halk_shard_breaker_state",
+				"Circuit breaker state per shard (0=closed, 1=open, 2=half-open).",
+				func() float64 { return float64(b.State()) },
+				obs.L("shard", strconv.Itoa(i)))
+		}
+	}
+	return e
 }
+
+// Close waits for every in-flight scan goroutine — scatter and hedge —
+// to drain. Queries issued after Close behave normally; Close only
+// guarantees that goroutines from earlier queries are not leaked.
+func (e *Engine) Close() { e.scanWG.Wait() }
+
+// Breakers returns the per-shard circuit breakers, or nil when breakers
+// are disabled.
+func (e *Engine) Breakers() []*resil.Breaker { return e.breakers }
 
 // getHeap takes shard i's scratch heap from its pool (or allocates one)
 // and re-arms it for a k-bounded scan.
@@ -146,6 +209,12 @@ type localTopK struct {
 	d       []float64
 	id      []int32
 	skipped bool
+	// failed marks a shard-local fault (deadline miss, scan error,
+	// panic) that should count against the shard's circuit breaker.
+	failed bool
+	// tripped marks a shard skipped up front by an open breaker; it
+	// reports no outcome (the shard was never called).
+	tripped bool
 }
 
 // TopK scatters the prepared arcs to every shard, scans all of them in
@@ -207,16 +276,41 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool) (*Resu
 	scatterStart := time.Now()
 	var wg sync.WaitGroup
 	for i := range snap.shards {
+		if e.breakers != nil && !e.breakers[i].Allow() {
+			// Open breaker: skip the shard up front — the response
+			// degrades to partial immediately instead of re-paying the
+			// deadline on a shard that keeps failing.
+			locals[i].skipped = true
+			locals[i].tripped = true
+			e.stats[i].recordBreakerSkip()
+			continue
+		}
 		wg.Add(1)
+		e.scanWG.Add(1)
 		go func(i int) {
+			defer e.scanWG.Done()
 			defer wg.Done()
-			e.scanShard(ctx, snap, i, arcs, k, approx, &gbound, &locals[i])
+			e.runShard(ctx, snap, i, arcs, k, approx, &gbound, &locals[i])
 		}(i)
 	}
 	wg.Wait()
 	tr.Observe(obs.StageShardScatter, time.Since(scatterStart))
 	if err := ctx.Err(); err != nil {
+		// The whole query died; shard outcomes under a dead parent carry
+		// no signal, so the breakers are left untouched.
 		return nil, err
+	}
+	if e.breakers != nil {
+		for i := range locals {
+			switch {
+			case locals[i].tripped:
+				// Never called; no outcome.
+			case locals[i].failed:
+				e.breakers[i].Failure()
+			case !locals[i].skipped:
+				e.breakers[i].Success()
+			}
+		}
 	}
 	mergeStart := time.Now()
 	res, err := mergeLocals(snap, locals, k)
@@ -224,9 +318,101 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool) (*Resu
 	return res, err
 }
 
+// runShard runs one shard's scan, optionally racing a hedge: when the
+// primary scan has not returned after the shard's hedge delay, a second
+// identical scan is issued and the first (non-skipped) result wins.
+// Both scans read the same immutable snapshot, so whichever finishes
+// first returns byte-identical data.
+func (e *Engine) runShard(ctx context.Context, snap *snapshot, i int, arcs []Arc, k int, approx bool, gbound *atomicBound, out *localTopK) {
+	if e.hedgeDelay <= 0 {
+		e.scanShard(ctx, snap, i, arcs, k, approx, gbound, out)
+		return
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // the losing scan is abandoned, not awaited
+
+	type scanDone struct {
+		local localTopK
+		hedge bool
+	}
+	// Buffered so the losing scan's send never blocks after we return.
+	results := make(chan scanDone, 2)
+	launch := func(hedge bool) {
+		e.scanWG.Add(1)
+		go func() {
+			defer e.scanWG.Done()
+			var l localTopK
+			e.scanShard(hctx, snap, i, arcs, k, approx, gbound, &l)
+			results <- scanDone{local: l, hedge: hedge}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(e.hedgeDelayFor(i))
+	defer timer.Stop()
+	select {
+	case r := <-results:
+		*out = r.local
+		return
+	case <-timer.C:
+		e.stats[i].recordHedge()
+		launch(true)
+	}
+	first := <-results
+	if !first.local.skipped {
+		*out = first.local
+		if first.hedge {
+			e.stats[i].recordHedgeWin()
+		}
+		return
+	}
+	// The first finisher was a skip; give the other scan its chance.
+	second := <-results
+	if !second.local.skipped {
+		*out = second.local
+		if second.hedge {
+			e.stats[i].recordHedgeWin()
+		}
+		return
+	}
+	out.skipped = true
+	out.failed = first.local.failed || second.local.failed
+}
+
+// hedgeDelayFor derives shard i's hedge delay: the configured floor
+// raised to the shard's observed p99 scan latency, capped at the shard
+// timeout (hedging after the deadline would race a lost cause).
+func (e *Engine) hedgeDelayFor(i int) time.Duration {
+	d := e.hedgeDelay
+	if p99 := e.stats[i].scanMs.Quantile(0.99); p99 > 0 {
+		if observed := time.Duration(p99 * float64(time.Millisecond)); observed > d {
+			d = observed
+		}
+	}
+	if e.shardTimeout > 0 && d > e.shardTimeout {
+		d = e.shardTimeout
+	}
+	return d
+}
+
 // scanShard runs one shard's local top-K scan, honouring the per-shard
-// deadline and recording latency/skip counters.
+// deadline and recording latency/skip counters. A panic anywhere in the
+// scan is contained here: the shard is reported as skipped+failed (the
+// gather degrades to a partial result, exactly like a deadline miss) and
+// the stack is counted and logged — one poisoned shard never takes down
+// the process or the query's siblings.
 func (e *Engine) scanShard(ctx context.Context, snap *snapshot, i int, arcs []Arc, k int, approx bool, gbound *atomicBound, out *localTopK) {
+	defer func() {
+		if v := recover(); v != nil {
+			out.skipped = true
+			out.failed = true
+			e.stats[i].recordPanic()
+			logger := e.panicLog
+			if logger == nil {
+				logger = log.Default()
+			}
+			logger.Printf("shard: recovered panic in shard %d scan: %v\n%s", i, v, debug.Stack())
+		}
+	}()
 	sd := &snap.shards[i]
 	sctx := ctx
 	if e.shardTimeout > 0 {
@@ -236,6 +422,14 @@ func (e *Engine) scanShard(ctx context.Context, snap *snapshot, i int, arcs []Ar
 	}
 	if e.slow != nil {
 		e.slow(i)
+	}
+	if e.scanErr != nil {
+		if err := e.scanErr(i); err != nil {
+			out.skipped = true
+			out.failed = true
+			e.stats[i].recordError()
+			return
+		}
 	}
 	start := time.Now()
 	h := e.getHeap(i, k)
@@ -251,6 +445,7 @@ func (e *Engine) scanShard(ctx context.Context, snap *snapshot, i int, arcs []Ar
 		// request failed); only a shard-local deadline counts as a skip.
 		out.skipped = true
 		if ctx.Err() == nil {
+			out.failed = true
 			e.stats[i].recordSkip()
 		}
 		e.heaps[i].Put(h)

@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/halk-kg/halk/internal/resil"
+)
+
+// quietPanicLog keeps recovered-panic stacks out of the test output.
+func quietPanicLog() *log.Logger { return log.New(io.Discard, "", 0) }
+
+func TestScanPanicYieldsPartial(t *testing.T) {
+	const k = 10
+	p, src, _, pre := testSetup(11, 103, 6, 2, 4)
+	inj := resil.NewInjector()
+	inj.Set("scan", 1, resil.Fault{Kind: resil.KindPanic})
+	e := newTestEngine(t, p, src, Options{
+		Shards:   3,
+		ScanErr:  inj.ScanErrHook("scan"),
+		PanicLog: quietPanicLog(),
+	})
+
+	res, err := e.TopK(context.Background(), pre, k)
+	if err != nil {
+		t.Fatalf("TopK after shard panic: %v", err)
+	}
+	if !res.Partial || len(res.Skipped) != 1 || res.Skipped[0] != 1 {
+		t.Fatalf("result = partial=%v skipped=%v, want partial with shard 1 skipped", res.Partial, res.Skipped)
+	}
+	if len(res.Answered) != 2 {
+		t.Fatalf("answered = %v, want the 2 healthy shards", res.Answered)
+	}
+	if got := e.Stats()[1].Panics; got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+
+	// The engine is not poisoned: with the fault cleared the same query
+	// answers fully.
+	inj.Clear()
+	res, err = e.TopK(context.Background(), pre, k)
+	if err != nil || res.Partial {
+		t.Fatalf("recovery query = %+v, %v; want full result", res, err)
+	}
+}
+
+func TestScanErrSeamFailsShard(t *testing.T) {
+	p, src, _, pre := testSetup(7, 64, 4, 2, 3)
+	sentinel := errors.New("disk on fire")
+	e := newTestEngine(t, p, src, Options{
+		Shards: 2,
+		ScanErr: func(i int) error {
+			if i == 0 {
+				return sentinel
+			}
+			return nil
+		},
+	})
+	res, err := e.TopK(context.Background(), pre, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || len(res.Skipped) != 1 || res.Skipped[0] != 0 {
+		t.Fatalf("result = %+v, want shard 0 skipped", res)
+	}
+	if got := e.Stats()[0].Errors; got != 1 {
+		t.Fatalf("errors counter = %d, want 1", got)
+	}
+}
+
+func TestAllShardsFaultedIsAllSkipped(t *testing.T) {
+	p, src, _, pre := testSetup(7, 64, 4, 2, 3)
+	inj := resil.NewInjector()
+	inj.Set("scan", resil.AnyShard, resil.Fault{Kind: resil.KindPanic})
+	e := newTestEngine(t, p, src, Options{
+		Shards:   2,
+		ScanErr:  inj.ScanErrHook("scan"),
+		PanicLog: quietPanicLog(),
+	})
+	if _, err := e.TopK(context.Background(), pre, 5); !errors.Is(err, ErrAllShardsSkipped) {
+		t.Fatalf("err = %v, want ErrAllShardsSkipped", err)
+	}
+}
+
+func TestBreakerOpensThenRecovers(t *testing.T) {
+	p, src, _, pre := testSetup(5, 80, 4, 2, 3)
+	inj := resil.NewInjector()
+	inj.Set("scan", 0, resil.Fault{Kind: resil.KindError})
+	e := newTestEngine(t, p, src, Options{
+		Shards:  2,
+		ScanErr: inj.ScanErrHook("scan"),
+		Breaker: &resil.BreakerConfig{
+			ConsecutiveMisses: 2,
+			OpenBase:          10 * time.Millisecond,
+			OpenMax:           10 * time.Millisecond,
+		},
+	})
+	ctx := context.Background()
+
+	// Two failing gathers trip shard 0's breaker.
+	for i := 0; i < 2; i++ {
+		res, err := e.TopK(ctx, pre, 5)
+		if err != nil || !res.Partial {
+			t.Fatalf("gather %d = %+v, %v; want partial", i, res, err)
+		}
+	}
+	st := e.Stats()[0]
+	if st.Breaker == nil || st.Breaker.State != "open" {
+		t.Fatalf("breaker after 2 misses = %+v, want open", st.Breaker)
+	}
+
+	// While open, the shard is skipped up front: the error seam is not
+	// even called.
+	fired := inj.Fired("scan")
+	res, err := e.TopK(ctx, pre, 5)
+	if err != nil || !res.Partial {
+		t.Fatalf("gather under open breaker = %+v, %v", res, err)
+	}
+	if got := inj.Fired("scan"); got != fired {
+		t.Fatalf("open breaker still called the shard (%d → %d fires)", fired, got)
+	}
+	if e.Stats()[0].BreakerSkips == 0 {
+		t.Fatal("breaker skip not counted")
+	}
+
+	// Heal the shard and wait out the cool-down: the half-open probe
+	// succeeds and the breaker closes.
+	inj.Clear()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		res, err = e.TopK(ctx, pre, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Partial {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered; stats = %+v", e.Stats()[0])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := e.Stats()[0]; st.Breaker.State != "closed" {
+		t.Fatalf("breaker after recovery = %+v, want closed", st.Breaker)
+	}
+}
+
+func TestHedgedScanByteIdentical(t *testing.T) {
+	const k = 17
+	p, src, _, pre := testSetup(13, 103, 6, 2, 4)
+	base := newTestEngine(t, p, src, Options{Shards: 3})
+	want, err := base.TopK(context.Background(), pre, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := resil.NewInjector()
+	// The first scan of shard 0 stalls well past the hedge delay; the
+	// hedge re-scan sees no fault (Count: 1) and wins.
+	inj.Set("scan", 0, resil.Fault{Kind: resil.KindDelay, Delay: 200 * time.Millisecond, Count: 1})
+	e := newTestEngine(t, p, src, Options{
+		Shards:     3,
+		HedgeDelay: time.Millisecond,
+		ScanErr:    inj.ScanErrHook("scan"),
+	})
+
+	res, err := e.TopK(context.Background(), pre, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("hedged result partial: %+v", res)
+	}
+	if len(res.IDs) != len(want.IDs) {
+		t.Fatalf("%d answers, want %d", len(res.IDs), len(want.IDs))
+	}
+	for i := range want.IDs {
+		if res.IDs[i] != want.IDs[i] || res.Dists[i] != want.Dists[i] {
+			t.Fatalf("rank %d = (%d, %v), want (%d, %v) — hedge result diverged",
+				i, res.IDs[i], res.Dists[i], want.IDs[i], want.Dists[i])
+		}
+	}
+	st := e.Stats()[0]
+	if st.Hedges == 0 {
+		t.Fatal("no hedge recorded despite the stalled primary")
+	}
+	if st.HedgeWins == 0 {
+		t.Fatal("hedge win not recorded")
+	}
+	e.Close() // drain the stalled primary before the test returns
+}
+
+func TestEngineCloseDrainsScanGoroutines(t *testing.T) {
+	p, src, _, pre := testSetup(3, 64, 4, 2, 3)
+	inj := resil.NewInjector()
+	inj.Set("scan", 0, resil.Fault{Kind: resil.KindDelay, Delay: 50 * time.Millisecond, Count: 1})
+	e := newTestEngine(t, p, src, Options{
+		Shards:     2,
+		HedgeDelay: time.Millisecond,
+		ScanErr:    inj.ScanErrHook("scan"),
+	})
+	before := runtime.NumGoroutine()
+	if _, err := e.TopK(context.Background(), pre, 5); err != nil {
+		t.Fatal(err)
+	}
+	// The gather returned while the stalled primary is still running;
+	// Close must wait for it.
+	e.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after Close: %d > %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

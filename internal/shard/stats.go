@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"github.com/halk-kg/halk/internal/obs"
+	"github.com/halk-kg/halk/internal/resil"
 )
 
 // shardStat holds one shard slot's counters as handles into the obs
@@ -17,11 +18,16 @@ import (
 // counters still read race-clean (see TestShardStatsRaceStress, run
 // under -race).
 type shardStat struct {
-	scans  *obs.Counter   // completed scans
-	skips  *obs.Counter   // scans abandoned on the per-shard deadline
-	scanMs *obs.Histogram // completed-scan latency
-	lastMs *obs.Gauge
-	maxMs  *obs.Gauge
+	scans        *obs.Counter   // completed scans
+	skips        *obs.Counter   // scans abandoned on the per-shard deadline
+	errors       *obs.Counter   // scans failed by the ScanErr seam
+	panics       *obs.Counter   // panics recovered inside scan goroutines
+	breakerSkips *obs.Counter   // scans refused up front by an open breaker
+	hedges       *obs.Counter   // hedge scans issued
+	hedgeWins    *obs.Counter   // gathers where the hedge finished first
+	scanMs       *obs.Histogram // completed-scan latency
+	lastMs       *obs.Gauge
+	maxMs        *obs.Gauge
 }
 
 // newShardStats registers the per-shard series (labelled shard="i") on
@@ -31,11 +37,16 @@ func newShardStats(reg *obs.Registry, n int) []shardStat {
 	for i := range out {
 		l := obs.L("shard", strconv.Itoa(i))
 		out[i] = shardStat{
-			scans:  reg.Counter("halk_shard_scans_total", "Completed per-shard scans.", l),
-			skips:  reg.Counter("halk_shard_skips_total", "Shard scans abandoned on the per-shard deadline.", l),
-			scanMs: reg.Histogram("halk_shard_scan_duration_ms", "Latency of completed shard scans in milliseconds.", obs.LatencyBuckets, l),
-			lastMs: reg.Gauge("halk_shard_last_scan_ms", "Latency of the most recent completed scan.", l),
-			maxMs:  reg.Gauge("halk_shard_max_scan_ms", "Worst completed-scan latency since process start.", l),
+			scans:        reg.Counter("halk_shard_scans_total", "Completed per-shard scans.", l),
+			skips:        reg.Counter("halk_shard_skips_total", "Shard scans abandoned on the per-shard deadline.", l),
+			errors:       reg.Counter("halk_shard_scan_errors_total", "Shard scans failed by the error-injection seam.", l),
+			panics:       reg.Counter("halk_shard_panics_total", "Panics recovered inside shard scan goroutines.", l),
+			breakerSkips: reg.Counter("halk_shard_breaker_skips_total", "Shard scans refused up front by an open circuit breaker.", l),
+			hedges:       reg.Counter("halk_shard_hedges_total", "Hedge scans issued after the per-shard hedge delay.", l),
+			hedgeWins:    reg.Counter("halk_shard_hedge_wins_total", "Gathers where the hedge scan finished before the primary.", l),
+			scanMs:       reg.Histogram("halk_shard_scan_duration_ms", "Latency of completed shard scans in milliseconds.", obs.LatencyBuckets, l),
+			lastMs:       reg.Gauge("halk_shard_last_scan_ms", "Latency of the most recent completed scan.", l),
+			maxMs:        reg.Gauge("halk_shard_max_scan_ms", "Worst completed-scan latency since process start.", l),
 		}
 	}
 	return out
@@ -48,7 +59,12 @@ func (st *shardStat) record(ms float64) {
 	st.maxMs.SetMax(ms)
 }
 
-func (st *shardStat) recordSkip() { st.skips.Inc() }
+func (st *shardStat) recordSkip()        { st.skips.Inc() }
+func (st *shardStat) recordError()       { st.errors.Inc() }
+func (st *shardStat) recordPanic()       { st.panics.Inc() }
+func (st *shardStat) recordBreakerSkip() { st.breakerSkips.Inc() }
+func (st *shardStat) recordHedge()       { st.hedges.Inc() }
+func (st *shardStat) recordHedgeWin()    { st.hedgeWins.Inc() }
 
 // ShardStats is the exported per-shard counter snapshot, shaped for the
 // /v1/stats JSON export.
@@ -63,6 +79,18 @@ type ShardStats struct {
 	// response).
 	Scans uint64 `json:"scans"`
 	Skips uint64 `json:"skips"`
+	// Fault-tolerance counters: Errors counts scans failed via the
+	// error-injection seam, Panics counts panics recovered inside scan
+	// goroutines, BreakerSkips counts scans refused up front by an open
+	// breaker, Hedges/HedgeWins count hedge scans issued and won.
+	Errors       uint64 `json:"errors,omitempty"`
+	Panics       uint64 `json:"panics,omitempty"`
+	BreakerSkips uint64 `json:"breaker_skips,omitempty"`
+	Hedges       uint64 `json:"hedges,omitempty"`
+	HedgeWins    uint64 `json:"hedge_wins,omitempty"`
+	// Breaker is the shard's circuit breaker snapshot; absent when
+	// breakers are disabled.
+	Breaker *resil.BreakerStats `json:"breaker,omitempty"`
 	// Scan latency over completed scans, in milliseconds.
 	LastScanMs float64 `json:"last_scan_ms"`
 	MeanScanMs float64 `json:"mean_scan_ms"`
@@ -78,12 +106,21 @@ func (e *Engine) Stats() []ShardStats {
 	for i := range e.stats {
 		st := &e.stats[i]
 		out[i] = ShardStats{
-			Shard:      i,
-			Scans:      st.scans.Value(),
-			Skips:      st.skips.Value(),
-			LastScanMs: st.lastMs.Value(),
-			MeanScanMs: st.scanMs.Mean(),
-			MaxScanMs:  st.maxMs.Value(),
+			Shard:        i,
+			Scans:        st.scans.Value(),
+			Skips:        st.skips.Value(),
+			Errors:       st.errors.Value(),
+			Panics:       st.panics.Value(),
+			BreakerSkips: st.breakerSkips.Value(),
+			Hedges:       st.hedges.Value(),
+			HedgeWins:    st.hedgeWins.Value(),
+			LastScanMs:   st.lastMs.Value(),
+			MeanScanMs:   st.scanMs.Mean(),
+			MaxScanMs:    st.maxMs.Value(),
+		}
+		if e.breakers != nil {
+			bs := e.breakers[i].Stats()
+			out[i].Breaker = &bs
 		}
 		if snap != nil {
 			out[i].Lo, out[i].Hi = snap.shards[i].lo, snap.shards[i].hi
