@@ -199,6 +199,22 @@ func (b *Breaker) Failure() {
 	}
 }
 
+// Cancel reports that a call admitted by Allow finished without a
+// meaningful outcome — e.g. the surrounding request was cancelled
+// before the call completed, so its result says nothing about the
+// guarded component. Its only effect is to release an in-flight
+// half-open probe so the next Allow can admit a fresh one; without
+// this, a cancelled probe would never report Success or Failure and
+// the breaker would refuse calls forever. In Closed and Open states it
+// is a no-op.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		b.probing = false
+	}
+}
+
 // State returns the current state.
 func (b *Breaker) State() State {
 	b.mu.Lock()

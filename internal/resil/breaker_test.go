@@ -210,3 +210,52 @@ func TestBreakerDefaultsUsable(t *testing.T) {
 		t.Fatalf("default breaker state after 4 misses = %v, want open", b.State())
 	}
 }
+
+func TestBreakerCancelReleasesHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Failure()
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	clk.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cool-down expired but the probe was refused")
+	}
+	if b.Allow() {
+		t.Fatal("second call admitted while the probe is in flight")
+	}
+
+	// The probe's query was cancelled before it produced an outcome.
+	// Cancel must release it — otherwise no call is ever admitted again.
+	b.Cancel()
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cancelled probe = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("breaker wedged: no fresh probe admitted after Cancel")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerCancelNoOpInClosedAndOpen(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	b.Cancel() // closed: no effect
+	if b.State() != Closed || !b.Allow() {
+		t.Fatalf("Cancel disturbed a closed breaker: %v", b.State())
+	}
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	b.Cancel() // open: no effect
+	if b.State() != Open || b.Allow() {
+		t.Fatalf("Cancel disturbed an open breaker: %v", b.State())
+	}
+}

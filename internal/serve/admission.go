@@ -14,6 +14,14 @@ import (
 // load shifts within a handful of requests without chasing outliers.
 const ewmaAlpha = 0.2
 
+// coldStartServiceMs is the conservative service-time assumption used
+// while the EWMA has no observations — after a restart, before the
+// first ranking completes. Without it a cold-start stampede would be
+// admitted without bound (predicted wait 0 × any queue depth); with it
+// deep queues shed until real observations take over. The first real
+// observation replaces it outright rather than blending in.
+const coldStartServiceMs = 100
+
 // admission is the deadline-aware load-shedding gate in front of the
 // worker pool. It estimates how long a new request would wait for a
 // worker — queued requests beyond the pool size, times the EWMA service
@@ -58,6 +66,9 @@ func (g *admission) admit(ctx context.Context) (release func(serviceMs float64),
 		g.mu.Lock()
 		ewma := g.ewmaMs
 		g.mu.Unlock()
+		if ewma == 0 {
+			ewma = coldStartServiceMs
+		}
 		wait := time.Duration(float64(queued) / float64(g.workers) * ewma * float64(time.Millisecond))
 		budget := g.maxWait
 		if deadline, has := ctx.Deadline(); has {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"log"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/resil"
 	"github.com/halk-kg/halk/internal/shard"
 )
@@ -416,5 +418,69 @@ func TestServerCloseDrainsHedgedScans(t *testing.T) {
 			t.Fatalf("goroutines after Close: %d, baseline %d", runtime.NumGoroutine(), baseline)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRecoverHandlerCommittedResponse pins the panic-recovery write
+// discipline: a handler that panics after committing status or body
+// must not get a superfluous WriteHeader and error JSON appended to the
+// response the client already started reading; a handler that panics on
+// a pristine response still gets the clean 500.
+func TestRecoverHandlerCommittedResponse(t *testing.T) {
+	s, _, _, _ := newTestServer(t, func(cfg *Config) { cfg.PanicLog = discardLog() })
+
+	h := s.recoverHandler("/test", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write([]byte(`{"answers":[`)); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+		panic("fault injected mid-encode")
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/test", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("committed status rewritten to %d", rec.Code)
+	}
+	if got := rec.Body.String(); got != `{"answers":[` {
+		t.Fatalf("garbage appended to committed response: %q", got)
+	}
+
+	h = s.recoverHandler("/test", func(w http.ResponseWriter, r *http.Request) {
+		panic("fault injected before any write")
+	})
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/test", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("pristine panic answered %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "internal server error") {
+		t.Fatalf("500 without the error body: %q", rec.Body.String())
+	}
+}
+
+// TestAdmissionColdStartSheds pins the gate's cold-start behaviour:
+// before any ranking has seeded the service-time EWMA, the gate must
+// fall back to a conservative estimate and still shed a deep queue —
+// not admit without bound because the predicted wait is 0.
+func TestAdmissionColdStartSheds(t *testing.T) {
+	g := newAdmission(2, 10*time.Millisecond, obs.NewRegistry())
+	var releases []func(float64)
+	for i := 0; i < 3; i++ {
+		rel, _, ok := g.admit(context.Background())
+		if !ok {
+			// The third admit holds the first queue slot; with the
+			// cold-start estimate even one queued request may shed under
+			// a 10ms budget — both outcomes before the probe are fine.
+			break
+		}
+		releases = append(releases, rel)
+	}
+	if _, retry, ok := g.admit(context.Background()); ok {
+		t.Fatal("cold gate admitted into a saturated queue (predicted wait 0)")
+	} else if retry <= 0 {
+		t.Fatalf("shed without a Retry-After hint: %v", retry)
+	}
+	for _, rel := range releases {
+		rel(0)
 	}
 }

@@ -218,20 +218,45 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// committedWriter wraps a ResponseWriter and records whether the
+// handler has committed any part of the response (status or body), so
+// the panic recovery knows whether a 500 can still be written cleanly.
+type committedWriter struct {
+	http.ResponseWriter
+	committed bool
+}
+
+func (w *committedWriter) WriteHeader(code int) {
+	w.committed = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *committedWriter) Write(b []byte) (int, error) {
+	w.committed = true
+	return w.ResponseWriter.Write(b)
+}
+
 // recoverHandler is the outermost defence line: a panic escaping a
 // handler — including faults injected into the cache layer — is
 // recovered, counted, stack-logged, and answered with a 500 instead of
 // crashing the connection's goroutine (which would kill the process).
+// The 500 body is written only while the response is still pristine: a
+// handler that panicked after committing status or body would otherwise
+// get a superfluous WriteHeader plus error JSON appended to a partial
+// response the client already started reading.
 func (s *Server) recoverHandler(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		cw := &committedWriter{ResponseWriter: w}
 		defer func() {
 			if v := recover(); v != nil {
 				s.metrics.handlerPanics.Inc()
 				s.cfg.PanicLog.Printf("serve: recovered panic in %s handler: %v\n%s", name, v, debug.Stack())
-				writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal server error"})
+				if !cw.committed {
+					writeJSON(cw, http.StatusInternalServerError, errorResponse{Error: "internal server error"})
+				}
 			}
 		}()
-		h(w, r)
+		h(cw, r)
 	}
 }
 

@@ -25,6 +25,9 @@ var ErrNoSnapshot = errors.New("shard: no snapshot published (call Swap first)")
 // result exists.
 var ErrAllShardsSkipped = errors.New("shard: all shards missed their deadline")
 
+// ErrClosed is returned by rankings issued after Close.
+var ErrClosed = errors.New("shard: engine closed")
+
 // Options configures an Engine.
 type Options struct {
 	// Shards is the number of partitions; values < 1 mean 1.
@@ -90,8 +93,13 @@ type Engine struct {
 	panicLog   *log.Logger
 
 	// scanWG tracks every scan goroutine — scatter and hedge alike — so
-	// Close can await stragglers instead of leaking them.
-	scanWG sync.WaitGroup
+	// Close can await stragglers instead of leaking them. closeMu
+	// serialises new gathers against Close: a gather adds its scatter
+	// goroutines under the read lock, Close flips closed under the write
+	// lock, so scanWG.Add can never race scanWG.Wait from zero.
+	scanWG  sync.WaitGroup
+	closeMu sync.RWMutex
+	closed  bool
 
 	// slow, when set, is called at the start of each shard scan — a test
 	// hook for injecting a wedged shard (Options.ScanHook).
@@ -139,9 +147,16 @@ func NewEngine(p Params, opts Options) *Engine {
 }
 
 // Close waits for every in-flight scan goroutine — scatter and hedge —
-// to drain. Queries issued after Close behave normally; Close only
-// guarantees that goroutines from earlier queries are not leaked.
-func (e *Engine) Close() { e.scanWG.Wait() }
+// to drain; a closed engine leaks nothing. Rankings issued after Close
+// begins are refused with ErrClosed (Swap and the read-only accessors
+// keep working), so Close may race in-flight queries safely. Close is
+// idempotent.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	e.closed = true
+	e.closeMu.Unlock()
+	e.scanWG.Wait()
+}
 
 // Breakers returns the per-shard circuit breakers, or nil when breakers
 // are disabled.
@@ -275,6 +290,11 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool) (*Resu
 	locals := make([]localTopK, len(snap.shards))
 	scatterStart := time.Now()
 	var wg sync.WaitGroup
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
 	for i := range snap.shards {
 		if e.breakers != nil && !e.breakers[i].Allow() {
 			// Open breaker: skip the shard up front — the response
@@ -293,11 +313,22 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool) (*Resu
 			e.runShard(ctx, snap, i, arcs, k, approx, &gbound, &locals[i])
 		}(i)
 	}
+	e.closeMu.RUnlock()
 	wg.Wait()
 	tr.Observe(obs.StageShardScatter, time.Since(scatterStart))
 	if err := ctx.Err(); err != nil {
 		// The whole query died; shard outcomes under a dead parent carry
-		// no signal, so the breakers are left untouched.
+		// no signal, so the breakers record neither success nor failure.
+		// But a shard whose Allow admitted a half-open probe must release
+		// it: an unreported probe would leave the breaker refusing calls
+		// forever, permanently skipping a recovered shard.
+		if e.breakers != nil {
+			for i := range locals {
+				if !locals[i].tripped {
+					e.breakers[i].Cancel()
+				}
+			}
+		}
 		return nil, err
 	}
 	if e.breakers != nil {
@@ -309,6 +340,11 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool) (*Resu
 				e.breakers[i].Failure()
 			case !locals[i].skipped:
 				e.breakers[i].Success()
+			default:
+				// Skipped without a shard-local fault (the query died
+				// mid-scan, or a hedge race left no attributable cause):
+				// no outcome, but release an admitted probe.
+				e.breakers[i].Cancel()
 			}
 		}
 	}
@@ -323,13 +359,25 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool) (*Resu
 // identical scan is issued and the first (non-skipped) result wins.
 // Both scans read the same immutable snapshot, so whichever finishes
 // first returns byte-identical data.
+//
+// The per-shard deadline is applied once, here, and shared by the
+// primary and any hedge: the hedge inherits whatever remains of the
+// shard's budget rather than a fresh ShardTimeout, so a persistently
+// slow shard bounds the gather at ~ShardTimeout instead of
+// hedge delay + ShardTimeout.
 func (e *Engine) runShard(ctx context.Context, snap *snapshot, i int, arcs []Arc, k int, approx bool, gbound *atomicBound, out *localTopK) {
+	sctx := ctx
+	var cancel context.CancelFunc
+	if e.shardTimeout > 0 {
+		sctx, cancel = context.WithTimeout(ctx, e.shardTimeout)
+	} else {
+		sctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel() // the losing scan is abandoned, not awaited
 	if e.hedgeDelay <= 0 {
-		e.scanShard(ctx, snap, i, arcs, k, approx, gbound, out)
+		e.scanShard(sctx, ctx, snap, i, arcs, k, approx, gbound, out)
 		return
 	}
-	hctx, cancel := context.WithCancel(ctx)
-	defer cancel() // the losing scan is abandoned, not awaited
 
 	type scanDone struct {
 		local localTopK
@@ -342,7 +390,7 @@ func (e *Engine) runShard(ctx context.Context, snap *snapshot, i int, arcs []Arc
 		go func() {
 			defer e.scanWG.Done()
 			var l localTopK
-			e.scanShard(hctx, snap, i, arcs, k, approx, gbound, &l)
+			e.scanShard(sctx, ctx, snap, i, arcs, k, approx, gbound, &l)
 			results <- scanDone{local: l, hedge: hedge}
 		}()
 	}
@@ -394,13 +442,15 @@ func (e *Engine) hedgeDelayFor(i int) time.Duration {
 	return d
 }
 
-// scanShard runs one shard's local top-K scan, honouring the per-shard
-// deadline and recording latency/skip counters. A panic anywhere in the
-// scan is contained here: the shard is reported as skipped+failed (the
-// gather degrades to a partial result, exactly like a deadline miss) and
-// the stack is counted and logged — one poisoned shard never takes down
-// the process or the query's siblings.
-func (e *Engine) scanShard(ctx context.Context, snap *snapshot, i int, arcs []Arc, k int, approx bool, gbound *atomicBound, out *localTopK) {
+// scanShard runs one shard's local top-K scan under sctx — the
+// shard-scoped context already carrying the per-shard deadline (see
+// runShard) — and records latency/skip counters; qctx is the whole
+// query's context, consulted only to classify failures. A panic
+// anywhere in the scan is contained here: the shard is reported as
+// skipped+failed (the gather degrades to a partial result, exactly like
+// a deadline miss) and the stack is counted and logged — one poisoned
+// shard never takes down the process or the query's siblings.
+func (e *Engine) scanShard(sctx, qctx context.Context, snap *snapshot, i int, arcs []Arc, k int, approx bool, gbound *atomicBound, out *localTopK) {
 	defer func() {
 		if v := recover(); v != nil {
 			out.skipped = true
@@ -414,12 +464,6 @@ func (e *Engine) scanShard(ctx context.Context, snap *snapshot, i int, arcs []Ar
 		}
 	}()
 	sd := &snap.shards[i]
-	sctx := ctx
-	if e.shardTimeout > 0 {
-		var cancel context.CancelFunc
-		sctx, cancel = context.WithTimeout(ctx, e.shardTimeout)
-		defer cancel()
-	}
 	if e.slow != nil {
 		e.slow(i)
 	}
@@ -441,10 +485,14 @@ func (e *Engine) scanShard(ctx context.Context, snap *snapshot, i int, arcs []Ar
 	}
 	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
-		// The query context dying is handled at the gather (the whole
-		// request failed); only a shard-local deadline counts as a skip.
+		// Classify the abort: the query context dying is handled at the
+		// gather (the whole request failed, no shard is at fault); the
+		// shard deadline expiring is a shard-local fault (skip counter +
+		// breaker failure); a plain cancellation with the query alive
+		// means this scan lost a hedge race and its result is discarded —
+		// neither a failure nor a stat.
 		out.skipped = true
-		if ctx.Err() == nil {
+		if qctx.Err() == nil && errors.Is(sctx.Err(), context.DeadlineExceeded) {
 			out.failed = true
 			e.stats[i].recordSkip()
 		}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"log"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -217,5 +219,166 @@ func TestEngineCloseDrainsScanGoroutines(t *testing.T) {
 			t.Fatalf("goroutines leaked after Close: %d > %d", runtime.NumGoroutine(), before)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCancelledProbeDoesNotWedgeBreaker is the regression test for the
+// half-open wedge: the query carrying the reopen probe is cancelled
+// mid-scan, so the gather returns ctx.Err() before any outcome is
+// reported. The engine must release the probe (resil.Breaker.Cancel) —
+// otherwise probing stays set forever, Allow refuses every call, and a
+// recovered shard is skipped permanently.
+func TestCancelledProbeDoesNotWedgeBreaker(t *testing.T) {
+	p, src, _, pre := testSetup(5, 80, 4, 2, 3)
+	inj := resil.NewInjector()
+	inj.Set("scan", 0, resil.Fault{Kind: resil.KindError})
+	// cancelScan, when armed, aborts the in-flight query from inside the
+	// scan hook — the probe's gather then dies on ctx.Err().
+	var cancelScan atomic.Value
+	e := newTestEngine(t, p, src, Options{
+		Shards:  2,
+		ScanErr: inj.ScanErrHook("scan"),
+		ScanHook: func(int) {
+			if f, _ := cancelScan.Load().(context.CancelFunc); f != nil {
+				f()
+			}
+		},
+		Breaker: &resil.BreakerConfig{
+			ConsecutiveMisses: 2,
+			OpenBase:          5 * time.Millisecond,
+			OpenMax:           5 * time.Millisecond,
+		},
+	})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := e.TopK(ctx, pre, 5); err != nil {
+			t.Fatalf("tripping gather %d: %v", i, err)
+		}
+	}
+	if st := e.Breakers()[0].State(); st != resil.Open {
+		t.Fatalf("breaker = %v, want open", st)
+	}
+
+	// Heal the shard, then sabotage the reopen probe: every query is
+	// cancelled from the scan hook until the cool-down expires and one
+	// of them actually carries the probe (state reaches half-open).
+	inj.Clear()
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Breakers()[0].State() != resil.HalfOpen {
+		if time.Now().After(deadline) {
+			t.Fatal("cool-down never expired; no probe was admitted")
+		}
+		cctx, cancel := context.WithCancel(ctx)
+		cancelScan.Store(cancel)
+		if _, err := e.TopK(cctx, pre, 5); err == nil {
+			t.Fatal("cancelled gather returned nil error")
+		}
+		cancel()
+		time.Sleep(time.Millisecond)
+	}
+
+	// With the probe released, the next healthy queries must close the
+	// breaker and answer in full.
+	cancelScan.Store(context.CancelFunc(nil))
+	for {
+		res, err := e.TopK(ctx, pre, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Partial {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker wedged after cancelled probe: %+v", e.Stats()[0].Breaker)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := e.Breakers()[0].State(); st != resil.Closed {
+		t.Fatalf("breaker after recovery = %v, want closed", st)
+	}
+}
+
+// TestHedgeSharesShardDeadline pins the hedging deadline bound: the
+// hedge inherits the remainder of the primary's per-shard budget, not a
+// fresh ShardTimeout. Both scans of shard 0 block in the scan hook; the
+// test releases them after the shared deadline (60ms) but before the
+// point a fresh hedge deadline would expire (hedge launch 40ms + 60ms =
+// 100ms). Under the old per-scan deadline the hedge would still be live
+// and answer in full; with the shared deadline both scans are dead and
+// the gather must degrade to a partial with shard 0 failed.
+func TestHedgeSharesShardDeadline(t *testing.T) {
+	p, src, _, pre := testSetup(9, 64, 4, 2, 3)
+	release := make(chan struct{})
+	e := newTestEngine(t, p, src, Options{
+		Shards:       2,
+		ShardTimeout: 60 * time.Millisecond,
+		HedgeDelay:   40 * time.Millisecond,
+		ScanHook: func(i int) {
+			if i == 0 {
+				<-release
+			}
+		},
+	})
+	type gatherOut struct {
+		res *Result
+		err error
+	}
+	done := make(chan gatherOut, 1)
+	go func() {
+		res, err := e.TopK(context.Background(), pre, 5)
+		done <- gatherOut{res, err}
+	}()
+	time.Sleep(75 * time.Millisecond)
+	close(release)
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("TopK: %v", out.err)
+	}
+	if !out.res.Partial || len(out.res.Skipped) != 1 || out.res.Skipped[0] != 0 {
+		t.Fatalf("result = partial=%v skipped=%v; hedge extended the shard budget past ShardTimeout",
+			out.res.Partial, out.res.Skipped)
+	}
+	st := e.Stats()[0]
+	if st.Hedges == 0 {
+		t.Fatal("no hedge was issued despite the stalled primary")
+	}
+	if st.Skips == 0 {
+		t.Fatal("deadline miss not recorded as a skip")
+	}
+	e.Close()
+}
+
+// TestCloseRacesInFlightQueries hammers Close against concurrent
+// gathers: the closed-engine guard must prevent scanWG.Add racing
+// scanWG.Wait (WaitGroup misuse → panic under load), and queries issued
+// after Close must fail with ErrClosed instead of leaking goroutines.
+func TestCloseRacesInFlightQueries(t *testing.T) {
+	p, src, _, pre := testSetup(3, 64, 4, 2, 3)
+	e := newTestEngine(t, p, src, Options{Shards: 4, HedgeDelay: time.Microsecond})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := e.TopK(context.Background(), pre, 5); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("TopK racing Close: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	e.Close()
+	close(stop)
+	wg.Wait()
+	if _, err := e.TopK(context.Background(), pre, 5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query after Close = %v, want ErrClosed", err)
 	}
 }
