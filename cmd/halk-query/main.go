@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"os"
 
 	"github.com/halk-kg/halk/internal/halk"
 	"github.com/halk-kg/halk/internal/kg"
@@ -42,14 +41,12 @@ func main() {
 	)
 	flag.Parse()
 
-	f, err := os.Open(*ckpt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-
+	// LoadCheckpointFile verifies the envelope (length, checksum) before
+	// decoding, so a truncated or bit-flipped checkpoint fails with a
+	// clear typed error instead of a half-decoded model; bare-gob files
+	// from older halk-train builds still load through the legacy path.
 	var ds *kg.Dataset
-	m, hdr, err := halk.LoadCheckpoint(f, func(hdr halk.CheckpointHeader) (*kg.Graph, error) {
+	m, info, err := halk.LoadCheckpointFile(*ckpt, func(hdr halk.CheckpointHeader) (*kg.Graph, error) {
 		switch hdr.Dataset {
 		case "FB15k":
 			ds = kg.SynthFB15k(hdr.Seed)
@@ -65,6 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	hdr := info.Header
 	log.Printf("loaded %s model (d=%d) trained on %s", m.Name(), hdr.Config.Dim, hdr.Dataset)
 
 	var root *query.Node

@@ -8,12 +8,21 @@
 //
 //	halk-serve -ckpt nell.ckpt -addr :8080 -approx
 //
+// -ckpt accepts a checkpoint file or a rotation directory written by
+// halk-train -ckpt-dir; a directory resolves to its newest verified
+// entry. With -ckpt-watch the path is polled and newer checkpoints are
+// hot-reloaded into the running server: verified first, swapped under
+// the ranking lock, sharded snapshot and ANN index rebuilt. A corrupt
+// or mismatched candidate is rejected — the server keeps answering
+// from the previous parameters and counts the failure on
+// halk_ckpt_reload_failures_total.
+//
 // Endpoints:
 //
 //	POST /v1/query   {"sparql"|"query"|"structure": ..., "k": 10,
 //	                  "mode": "exact"|"approx", "timeout_ms": 2000}
 //	GET  /v1/healthz liveness + model identity
-//	GET  /v1/stats   request/latency/cache/candidate-pool metrics
+//	GET  /v1/stats   request/latency/cache/candidate-pool/checkpoint metrics
 //
 // Example session:
 //
@@ -38,6 +47,7 @@ import (
 	"time"
 
 	"github.com/halk-kg/halk/internal/ann"
+	"github.com/halk-kg/halk/internal/ckpt"
 	"github.com/halk-kg/halk/internal/halk"
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/obs"
@@ -46,24 +56,68 @@ import (
 	"github.com/halk-kg/halk/internal/shard"
 )
 
+// datasetFor regenerates the synthetic dataset a checkpoint header
+// names. An unknown name is permanent: no retry can make it loadable.
+func datasetFor(hdr halk.CheckpointHeader) (*kg.Dataset, error) {
+	switch hdr.Dataset {
+	case "FB15k":
+		return kg.SynthFB15k(hdr.Seed), nil
+	case "FB237":
+		return kg.SynthFB237(hdr.Seed), nil
+	case "NELL":
+		return kg.SynthNELL(hdr.Seed), nil
+	default:
+		return nil, resil.Permanent(fmt.Errorf("unknown dataset %q in checkpoint", hdr.Dataset))
+	}
+}
+
+// resolveCkpt maps the -ckpt flag to a concrete file: a rotation
+// directory resolves to its newest entry (manifest first, directory
+// scan as fallback).
+func resolveCkpt(path string) (string, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if fi.IsDir() {
+		return (&ckpt.Dir{Path: path}).LatestPath()
+	}
+	return path, nil
+}
+
+// classifyLoadErr marks checkpoint-load failures that are properties of
+// the bytes on disk — corruption the verified envelope caught, a gob
+// stream that does not decode, a header for another model — as
+// permanent, so the startup retry loop exits immediately instead of
+// re-reading the same bad file with backoff.
+func classifyLoadErr(err error) error {
+	if err == nil || resil.IsPermanent(err) {
+		return err
+	}
+	if ckpt.IsCorrupt(err) || errors.Is(err, halk.ErrCheckpointCorrupt) || errors.Is(err, halk.ErrCheckpointMismatch) {
+		return resil.Permanent(err)
+	}
+	return err
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("halk-serve: ")
 
 	var (
-		ckpt    = flag.String("ckpt", "halk.ckpt", "checkpoint path written by halk-train")
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "ranking worker pool size (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", serve.DefaultCacheSize, "answer-cache capacity in entries (negative disables)")
-		k       = flag.Int("k", 10, "default number of answers when a request omits k")
-		maxK    = flag.Int("maxk", 1000, "cap on per-request k")
-		timeout = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
-		approx  = flag.Bool("approx", false, "build the ANN answer index and enable \"mode\": \"approx\"")
-		shards  = flag.Int("shards", 0, "shard the entity table and serve exact queries through the scatter-gather engine (0 = single-threaded full scan)")
-		shardTO = flag.Duration("shard-timeout", 0, "per-shard scan deadline; missed shards degrade the response to a partial result (0 = none)")
-		drain   = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
-		pprofAt = flag.String("pprof-addr", "", "separate debug listen address exposing /debug/pprof/ and /metrics (empty disables)")
-		slowQ   = flag.Duration("slow-query", 0, "log queries slower than this with their per-stage trace (0 disables)")
+		ckptPath = flag.String("ckpt", "halk.ckpt", "checkpoint file, or rotation directory written by halk-train -ckpt-dir (serves its newest entry)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "ranking worker pool size (0 = GOMAXPROCS)")
+		cache    = flag.Int("cache", serve.DefaultCacheSize, "answer-cache capacity in entries (negative disables)")
+		k        = flag.Int("k", 10, "default number of answers when a request omits k")
+		maxK     = flag.Int("maxk", 1000, "cap on per-request k")
+		timeout  = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		approx   = flag.Bool("approx", false, "build the ANN answer index and enable \"mode\": \"approx\"")
+		shards   = flag.Int("shards", 0, "shard the entity table and serve exact queries through the scatter-gather engine (0 = single-threaded full scan)")
+		shardTO  = flag.Duration("shard-timeout", 0, "per-shard scan deadline; missed shards degrade the response to a partial result (0 = none)")
+		drain    = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+		pprofAt  = flag.String("pprof-addr", "", "separate debug listen address exposing /debug/pprof/ and /metrics (empty disables)")
+		slowQ    = flag.Duration("slow-query", 0, "log queries slower than this with their per-stage trace (0 disables)")
 
 		hedge        = flag.Duration("hedge-delay", 0, "hedged-scan delay floor: re-issue a shard scan not back after max(this, the shard's p99 scan latency) and take the first result (0 disables; requires -shards)")
 		breaker      = flag.Bool("breaker", false, "guard each shard with a circuit breaker: shards that keep failing are skipped up front until a half-open probe succeeds (requires -shards)")
@@ -73,52 +127,63 @@ func main() {
 		brkOpen      = flag.Duration("breaker-open", 250*time.Millisecond, "minimum breaker cool-down; each failed reopen probe adds full-jitter exponential extra")
 		brkOpenMax   = flag.Duration("breaker-open-max", 15*time.Second, "cap on the breaker cool-down's jittered extra")
 		maxQueueWait = flag.Duration("max-queue-wait", 0, "admission control: shed requests with 429 when the expected worker-queue wait exceeds min(this, the request deadline) (0 disables)")
-		ckptRetries  = flag.Int("ckpt-retries", 3, "checkpoint-load attempts before giving up (full-jitter exponential backoff between attempts)")
+		ckptRetries  = flag.Int("ckpt-retries", 3, "checkpoint-load attempts before giving up (full-jitter exponential backoff between attempts; corrupt/mismatched files fail immediately)")
+		ckptWatch    = flag.Duration("ckpt-watch", 0, "poll the -ckpt path this often and hot-reload newer checkpoints into the running server (0 disables)")
 	)
 	flag.Parse()
 
-	// Transient open/read failures (checkpoint still being written by
-	// halk-train, network filesystems) retry with full-jitter backoff
-	// instead of failing the process on the first miss.
-	var ds *kg.Dataset
-	var m *halk.Model
-	var hdr halk.CheckpointHeader
+	// Transient open/read failures (checkpoint not yet written by
+	// halk-train, network filesystems) retry with full-jitter backoff;
+	// failures the envelope verification proves permanent — corrupt
+	// bytes, wrong dataset — abort the retry loop immediately.
+	var (
+		ds   *kg.Dataset
+		m    *halk.Model
+		info halk.FileInfo
+	)
 	loadBackoff := resil.NewBackoff(200*time.Millisecond, 5*time.Second, time.Now().UnixNano())
 	err := resil.Retry(context.Background(), *ckptRetries, loadBackoff, func() error {
-		f, err := os.Open(*ckpt)
+		path, err := resolveCkpt(*ckptPath)
 		if err != nil {
 			log.Printf("checkpoint load: %v (will retry)", err)
 			return err
 		}
-		defer f.Close()
 		ds = nil
-		m, hdr, err = halk.LoadCheckpoint(f, func(hdr halk.CheckpointHeader) (*kg.Graph, error) {
-			switch hdr.Dataset {
-			case "FB15k":
-				ds = kg.SynthFB15k(hdr.Seed)
-			case "FB237":
-				ds = kg.SynthFB237(hdr.Seed)
-			case "NELL":
-				ds = kg.SynthNELL(hdr.Seed)
-			default:
-				return nil, fmt.Errorf("unknown dataset %q in checkpoint", hdr.Dataset)
+		m, info, err = halk.LoadCheckpointFile(path, func(hdr halk.CheckpointHeader) (*kg.Graph, error) {
+			d, derr := datasetFor(hdr)
+			if derr != nil {
+				return nil, derr
 			}
-			return ds.Train, nil
+			ds = d
+			return d.Train, nil
 		})
-		if err != nil {
-			log.Printf("checkpoint load: %v (will retry)", err)
+		if err = classifyLoadErr(err); err != nil {
+			if resil.IsPermanent(err) {
+				log.Printf("checkpoint load: %v (permanent, not retrying)", err)
+			} else {
+				log.Printf("checkpoint load: %v (will retry)", err)
+			}
 		}
 		return err
 	})
 	if err != nil {
-		log.Fatalf("checkpoint load failed after %d attempts: %v", *ckptRetries, err)
+		log.Fatalf("checkpoint load failed: %v", err)
 	}
-	log.Printf("loaded %s model (d=%d) trained on %s: %d entities, %d relations",
-		m.Name(), hdr.Config.Dim, hdr.Dataset, ds.Train.NumEntities(), ds.Train.NumRelations())
+	hdr := info.Header
+	log.Printf("loaded %s model (d=%d) trained on %s from %s: %d entities, %d relations",
+		m.Name(), hdr.Config.Dim, hdr.Dataset, info.Path, ds.Train.NumEntities(), ds.Train.NumRelations())
 
 	// One registry backs /metrics on the serving mux, /v1/stats, the
 	// shard engine's per-shard counters, and the -pprof-addr debug mux.
 	reg := obs.NewRegistry()
+
+	// status tracks the served checkpoint's freshness; it feeds the
+	// "checkpoint" section of /v1/stats and the halk_ckpt_* gauges.
+	// SetLoaded runs before Register so the halk_ckpt_loaded_info
+	// identity labels are known at registration time.
+	status := ckpt.NewStatus()
+	status.SetLoaded(info.Path, hdr.Dataset, hdr.Seed, info.Step, m.EntityVersion())
+	status.Register(reg)
 
 	cfg := serve.Config{
 		Model:          m,
@@ -133,6 +198,7 @@ func main() {
 		Metrics:        reg,
 		SlowQuery:      *slowQ,
 		MaxQueueWait:   *maxQueueWait,
+		Ckpt:           status,
 	}
 	if *maxQueueWait > 0 {
 		log.Printf("admission control enabled: shedding at expected queue wait > %v", *maxQueueWait)
@@ -141,6 +207,7 @@ func main() {
 		cfg.Approx = m.NewAnswerIndex(ann.DefaultConfig(hdr.Seed))
 		log.Print("ANN answer index built; \"mode\": \"approx\" enabled")
 	}
+	var ranker *halk.ShardedRanker
 	if *shards > 0 {
 		opts := shard.Options{
 			Shards:       *shards,
@@ -158,7 +225,7 @@ func main() {
 				Seed:              time.Now().UnixNano(),
 			}
 		}
-		ranker, err := m.NewShardedRanker(opts)
+		ranker, err = m.NewShardedRanker(opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -182,14 +249,63 @@ func main() {
 		log.Printf("debug server on %s (/debug/pprof/, /metrics)", bound)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *ckptWatch > 0 {
+		watcher := ckpt.NewWatcher(*ckptPath)
+		watcher.Ack(info.Path)
+		go func() {
+			tick := time.NewTicker(*ckptWatch)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				path, changed, err := watcher.Poll()
+				if err != nil {
+					log.Printf("ckpt-watch: %v", err)
+					continue
+				}
+				if !changed {
+					continue
+				}
+				newInfo, err := m.ReloadFromFile(path, hdr.Dataset, hdr.Seed)
+				if err != nil {
+					// ReloadFromFile swapped nothing: the server keeps
+					// answering from the previous parameters. Ack the bad
+					// candidate so it is retried only once the path changes
+					// again (a new rotation entry, a rewritten file).
+					status.ReloadFailed()
+					watcher.Ack(path)
+					log.Printf("ckpt-watch: reload of %s failed, still serving previous checkpoint: %v", path, err)
+					continue
+				}
+				if ranker != nil {
+					if err := ranker.Refresh(); err != nil {
+						log.Printf("ckpt-watch: shard snapshot refresh: %v", err)
+					}
+				}
+				if *approx {
+					// The ANN index snapshots embeddings at build time;
+					// rebuild it over the new table and swap it in.
+					srv.SetApprox(m.NewAnswerIndex(ann.DefaultConfig(hdr.Seed)))
+				}
+				status.SetLoaded(path, hdr.Dataset, hdr.Seed, newInfo.Step, m.EntityVersion())
+				watcher.Ack(path)
+				log.Printf("ckpt-watch: hot-reloaded %s (step %d, entity version %d)", path, newInfo.Step, m.EntityVersion())
+			}
+		}()
+		log.Printf("checkpoint watcher polling %s every %v", *ckptPath, *ckptWatch)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()

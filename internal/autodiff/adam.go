@@ -41,3 +41,8 @@ func (a *Adam) Step(p *Params, scale float64) {
 
 // StepCount reports how many updates have been applied.
 func (a *Adam) StepCount() int { return a.step }
+
+// SetStepCount restores the update counter when resuming from a
+// checkpoint, so the bias corrections continue from where the
+// interrupted run left off instead of re-warming from step 1.
+func (a *Adam) SetStepCount(n int) { a.step = n }

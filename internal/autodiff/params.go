@@ -160,6 +160,58 @@ func (p *Params) Encode(enc *gob.Encoder) error {
 	return enc.Encode(wire)
 }
 
+// momentWire carries one tensor's Adam moment buffers for exact-resume
+// checkpoints.
+type momentWire struct {
+	Name  string
+	M, Vm []float64
+}
+
+// EncodeMoments writes every tensor's Adam moment buffers (M, Vm) as
+// one gob value, in the same deterministic name order as Encode. A
+// checkpoint carrying parameters plus moments (plus the optimizer step
+// count, kept by the trainer) resumes training bit-exactly.
+func (p *Params) EncodeMoments(enc *gob.Encoder) error {
+	ts := p.All()
+	wire := make([]momentWire, len(ts))
+	for i, t := range ts {
+		wire[i] = momentWire{Name: t.Name, M: t.M, Vm: t.Vm}
+	}
+	return enc.Encode(wire)
+}
+
+// DecodeMoments restores moment buffers written by EncodeMoments into
+// the registered tensors, validating names and shapes.
+func (p *Params) DecodeMoments(dec *gob.Decoder) error {
+	var wire []momentWire
+	if err := dec.Decode(&wire); err != nil {
+		return fmt.Errorf("autodiff: load moments: %w", err)
+	}
+	for _, mw := range wire {
+		t := p.byName[mw.Name]
+		if t == nil {
+			return fmt.Errorf("autodiff: load moments: unknown tensor %q", mw.Name)
+		}
+		if len(mw.M) != len(t.M) || len(mw.Vm) != len(t.Vm) {
+			return fmt.Errorf("autodiff: load moments: tensor %q size mismatch", mw.Name)
+		}
+		copy(t.M, mw.M)
+		copy(t.Vm, mw.Vm)
+	}
+	return nil
+}
+
+// CloneShapes returns a fresh registry with zero tensors of the same
+// names and shapes — a staging area to decode a parameter stream into
+// without touching the live tensors (see halk.Model.ReloadFromFile).
+func (p *Params) CloneShapes() *Params {
+	out := NewParams()
+	for _, t := range p.All() {
+		out.New(t.Name, t.Rows, t.Cols)
+	}
+	return out
+}
+
 // Load restores tensor values previously written by Save. Every tensor in
 // the stream must already be registered with matching shape.
 func (p *Params) Load(r io.Reader) error { return p.Decode(gob.NewDecoder(r)) }

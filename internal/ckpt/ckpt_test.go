@@ -1,0 +1,349 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/obs"
+)
+
+func writeEnvelope(t *testing.T, path string, payload []byte) {
+	t.Helper()
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	}); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.ckpt")
+	payload := []byte("the quick brown fox")
+	writeEnvelope(t, path, payload)
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mismatch: %q != %q", got, payload)
+	}
+	// Zero-length payloads are legal too.
+	writeEnvelope(t, path, nil)
+	if got, err := ReadFile(path); err != nil || len(got) != 0 {
+		t.Fatalf("empty payload: got %q, %v", got, err)
+	}
+}
+
+func TestReadFileEmptyAndForeign(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.ckpt")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(empty); !errors.Is(err, ErrNotCheckpoint) {
+		t.Fatalf("empty file: got %v, want ErrNotCheckpoint", err)
+	}
+	foreign := filepath.Join(dir, "foreign.ckpt")
+	if err := os.WriteFile(foreign, []byte("this is not a checkpoint at all, just bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(foreign); !errors.Is(err, ErrNotCheckpoint) {
+		t.Fatalf("foreign file: got %v, want ErrNotCheckpoint", err)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("missing file: got %v, want not-exist", err)
+	}
+}
+
+// TestTruncationAtEveryOffset cuts a valid envelope at every possible
+// length and asserts each cut is rejected with a typed corruption
+// error — no prefix of a checkpoint is ever accepted.
+func TestTruncationAtEveryOffset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.ckpt")
+	writeEnvelope(t, path, []byte("payload payload payload"))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(raw); n++ {
+		if _, err := Verify(raw[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes was accepted", n, len(raw))
+		} else if !IsCorrupt(err) {
+			t.Fatalf("truncation to %d bytes: error %v is not a typed corruption error", n, err)
+		}
+	}
+}
+
+// TestBitFlipAtEveryOffset flips one bit at every byte of a valid
+// envelope and asserts verification fails each time with a typed error.
+func TestBitFlipAtEveryOffset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.ckpt")
+	writeEnvelope(t, path, []byte("sensitive model parameters"))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x40
+		if _, err := Verify(mut); err == nil {
+			t.Fatalf("bit flip at offset %d was accepted", i)
+		} else if !IsCorrupt(err) {
+			t.Fatalf("bit flip at offset %d: error %v is not a typed corruption error", i, err)
+		}
+	}
+}
+
+func TestVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.ckpt")
+	writeEnvelope(t, path, []byte("x"))
+	raw, _ := os.ReadFile(path)
+	raw[11] = 99 // future format version
+	if _, err := Verify(raw); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+// shortWriter simulates a disk that fills up after limit bytes: writes
+// beyond it are cut short, as write(2) behaves on ENOSPC.
+type shortWriter struct {
+	w     io.Writer
+	limit int
+	n     int
+}
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if s.n >= s.limit {
+		return 0, fmt.Errorf("short write: disk full")
+	}
+	if rem := s.limit - s.n; len(p) > rem {
+		n, _ := s.w.Write(p[:rem])
+		s.n += n
+		return n, fmt.Errorf("short write: disk full")
+	}
+	n, err := s.w.Write(p)
+	s.n += n
+	return n, err
+}
+
+// TestWriteFileShortWrite is the ENOSPC regression test: a write that
+// runs out of space mid-payload must surface an error and must not
+// publish anything under the target name — the previous checkpoint (or
+// its absence) is preserved bit for bit, and no temp litter remains.
+func TestWriteFileShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	writeEnvelope(t, path, []byte("the good old checkpoint"))
+
+	orig := payloadSink
+	defer func() { payloadSink = orig }()
+	for _, limit := range []int{0, 5, headerLen, headerLen + 3, headerLen + 40} {
+		payloadSink = func(f *os.File) io.Writer { return &shortWriter{w: f, limit: limit} }
+		err := WriteFile(path, func(w io.Writer) error {
+			_, err := w.Write([]byte(strings.Repeat("new shiny checkpoint ", 4)))
+			return err
+		})
+		if err == nil {
+			t.Fatalf("limit %d: WriteFile reported success on a full disk", limit)
+		}
+		got, rerr := ReadFile(path)
+		if rerr != nil || string(got) != "the good old checkpoint" {
+			t.Fatalf("limit %d: previous checkpoint damaged: %q, %v", limit, got, rerr)
+		}
+	}
+	payloadSink = orig
+
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if strings.Contains(de.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind after failed writes", de.Name())
+		}
+	}
+}
+
+// TestWriteFilePayloadError: an error from the payload callback aborts
+// the write without touching the target.
+func TestWriteFilePayloadError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.ckpt")
+	sentinel := errors.New("payload build failed")
+	err := WriteFile(path, func(w io.Writer) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want wrapped sentinel", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("target was created despite payload error")
+	}
+}
+
+func TestRotationSavePruneAndLatest(t *testing.T) {
+	d := &Dir{Path: filepath.Join(t.TempDir(), "rot"), Keep: 2}
+	for _, step := range []int{100, 200, 300, 400} {
+		step := step
+		if _, err := d.Save(step, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "state@%d", step)
+			return err
+		}); err != nil {
+			t.Fatalf("Save(%d): %v", step, err)
+		}
+	}
+	entries, err := d.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Step != 400 || entries[1].Step != 300 {
+		t.Fatalf("entries after prune: %+v, want steps [400 300]", entries)
+	}
+	latest, err := d.LatestPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(latest) != EntryName(400) {
+		t.Fatalf("LatestPath = %s, want %s", latest, EntryName(400))
+	}
+	e, err := d.LoadLatest(func(e Entry, payload []byte) error {
+		if string(payload) != fmt.Sprintf("state@%d", e.Step) {
+			return fmt.Errorf("bad payload %q", payload)
+		}
+		return nil
+	})
+	if err != nil || e.Step != 400 {
+		t.Fatalf("LoadLatest: %+v, %v", e, err)
+	}
+}
+
+// TestLoadLatestFallsBackPastCorruptNewest is the kill-mid-write
+// recovery path: the newest rotation entry is torn (simulating a crash
+// with a non-atomic writer, or on-disk corruption) and loading must
+// fall back to the previous entry.
+func TestLoadLatestFallsBackPastCorruptNewest(t *testing.T) {
+	d := &Dir{Path: filepath.Join(t.TempDir(), "rot"), Keep: 3}
+	for _, step := range []int{10, 20} {
+		step := step
+		if _, err := d.Save(step, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "state@%d", step)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the newest entry: keep only the first half of its bytes.
+	newest := filepath.Join(d.Path, EntryName(20))
+	raw, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := d.LoadLatest(func(e Entry, payload []byte) error {
+		if string(payload) != fmt.Sprintf("state@%d", e.Step) {
+			return fmt.Errorf("bad payload %q", payload)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("LoadLatest with torn newest: %v", err)
+	}
+	if e.Step != 10 {
+		t.Fatalf("fell back to step %d, want 10", e.Step)
+	}
+	// With every entry corrupt, the error joins all per-entry failures.
+	older := filepath.Join(d.Path, EntryName(10))
+	if err := os.WriteFile(older, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LoadLatest(func(Entry, []byte) error { return nil }); err == nil {
+		t.Fatal("LoadLatest succeeded with every entry corrupt")
+	}
+}
+
+func TestWatcherFileAndDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.ckpt")
+	w := NewWatcher(path)
+
+	// Nothing on disk yet: no change, no error.
+	if _, changed, err := w.Poll(); changed || err != nil {
+		t.Fatalf("empty poll: changed=%v err=%v", changed, err)
+	}
+	writeEnvelope(t, path, []byte("v1"))
+	cand, changed, err := w.Poll()
+	if err != nil || !changed || cand != path {
+		t.Fatalf("first poll: %q %v %v", cand, changed, err)
+	}
+	w.Ack(path)
+	if _, changed, _ := w.Poll(); changed {
+		t.Fatal("acked file still reports change")
+	}
+	// Rewrite (atomic rename gives a fresh inode/mtime/size).
+	writeEnvelope(t, path, []byte("v2 is longer"))
+	if _, changed, _ := w.Poll(); !changed {
+		t.Fatal("rewritten file not detected")
+	}
+
+	// Directory mode: the newest rotation entry is the candidate.
+	rot := &Dir{Path: filepath.Join(dir, "rot"), Keep: 3}
+	dw := NewWatcher(rot.Path)
+	if _, changed, err := dw.Poll(); changed || err != nil {
+		t.Fatalf("empty rotation poll: changed=%v err=%v", changed, err)
+	}
+	if _, err := rot.Save(1, func(w io.Writer) error { _, err := w.Write([]byte("s1")); return err }); err != nil {
+		t.Fatal(err)
+	}
+	cand, changed, err = dw.Poll()
+	if err != nil || !changed || filepath.Base(cand) != EntryName(1) {
+		t.Fatalf("rotation poll: %q %v %v", cand, changed, err)
+	}
+	dw.Ack(cand)
+	if _, err := rot.Save(2, func(w io.Writer) error { _, err := w.Write([]byte("s2")); return err }); err != nil {
+		t.Fatal(err)
+	}
+	cand, changed, _ = dw.Poll()
+	if !changed || filepath.Base(cand) != EntryName(2) {
+		t.Fatalf("new rotation entry not detected: %q %v", cand, changed)
+	}
+}
+
+func TestStatusMetricsAndSnapshot(t *testing.T) {
+	s := NewStatus()
+	s.SetLoaded("/tmp/a.ckpt", "FB237", 7, 4000, 3)
+	reg := obs.NewRegistry()
+	s.Register(reg)
+
+	s.ReloadFailed()
+	s.SetLoaded("/tmp/b.ckpt", "FB237", 7, 8000, 4)
+
+	snap := s.Snapshot()
+	if snap.Path != "/tmp/b.ckpt" || snap.Dataset != "FB237" || snap.Seed != 7 ||
+		snap.Step != 8000 || snap.EntityVersion != 4 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if snap.Reloads != 1 || snap.Failures != 1 {
+		t.Fatalf("counters: %+v", snap)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"halk_ckpt_loaded_timestamp_seconds",
+		"halk_ckpt_loaded_step 8000",
+		`halk_ckpt_loaded_info{dataset="FB237",seed="7"} 1`,
+		"halk_ckpt_reloads_total 1",
+		"halk_ckpt_reload_failures_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultKeep is the rotation depth when Dir.Keep is zero.
+const DefaultKeep = 3
+
+// manifestName is the rotation manifest: a one-line file naming the
+// newest entry, itself written atomically. Readers prefer it but never
+// trust it blindly — Entries falls back to a directory listing, so a
+// lost or stale manifest degrades to a scan, not a lost rotation.
+const manifestName = "LATEST"
+
+// entryPrefix/entrySuffix frame rotation entry names:
+// ckpt-<step, zero-padded>.ckpt.
+const (
+	entryPrefix = "ckpt-"
+	entrySuffix = ".ckpt"
+)
+
+// Dir is a keep-last-N checkpoint rotation directory. Save writes
+// entries named by training step; the Keep newest are retained. All
+// methods are safe for sequential use by one writer plus any number of
+// concurrent readers (atomic renames make every published file
+// immutable).
+type Dir struct {
+	// Path is the rotation directory; Save creates it on first use.
+	Path string
+	// Keep is how many entries to retain; 0 means DefaultKeep.
+	Keep int
+}
+
+// Entry is one rotation entry.
+type Entry struct {
+	// Path is the entry's file path.
+	Path string
+	// Step is the training step the entry was cut at.
+	Step int
+}
+
+// EntryName returns the rotation file name for a step.
+func EntryName(step int) string {
+	return fmt.Sprintf("%s%08d%s", entryPrefix, step, entrySuffix)
+}
+
+// Save atomically writes a new rotation entry for the given step,
+// updates the LATEST manifest, and prunes entries beyond Keep (oldest
+// first). The entry is durable before the manifest names it.
+func (d *Dir) Save(step int, write func(w io.Writer) error) (string, error) {
+	if err := os.MkdirAll(d.Path, 0o755); err != nil {
+		return "", fmt.Errorf("ckpt: create rotation dir: %w", err)
+	}
+	path := filepath.Join(d.Path, EntryName(step))
+	if err := WriteFile(path, write); err != nil {
+		return "", err
+	}
+	// The manifest is advisory (Entries falls back to a scan), so a
+	// failed manifest write does not fail the save.
+	_ = WriteFile(filepath.Join(d.Path, manifestName), func(w io.Writer) error {
+		_, err := w.Write([]byte(EntryName(step)))
+		return err
+	})
+	d.prune(step)
+	return path, nil
+}
+
+// prune removes the oldest entries beyond Keep, never touching the
+// entry just written.
+func (d *Dir) prune(justWrote int) {
+	keep := d.Keep
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	entries, err := d.Entries()
+	if err != nil {
+		return
+	}
+	for _, e := range entries[min(keep, len(entries)):] {
+		if e.Step == justWrote {
+			continue
+		}
+		_ = os.Remove(e.Path)
+	}
+}
+
+// Entries lists the rotation entries, newest (highest step) first. The
+// listing comes from the directory itself, not the manifest, so a
+// corrupt newest entry still leaves its predecessors discoverable for
+// fallback.
+func (d *Dir) Entries() ([]Entry, error) {
+	des, err := os.ReadDir(d.Path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, de := range des {
+		name := de.Name()
+		if !strings.HasPrefix(name, entryPrefix) || !strings.HasSuffix(name, entrySuffix) {
+			continue
+		}
+		step, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, entryPrefix), entrySuffix))
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Path: filepath.Join(d.Path, name), Step: step})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Step > out[j].Step })
+	return out, nil
+}
+
+// LatestPath resolves the newest entry: the manifest's if it names an
+// existing file, otherwise the highest-step entry on disk. Returns
+// os.ErrNotExist when the rotation is empty.
+func (d *Dir) LatestPath() (string, error) {
+	if raw, err := os.ReadFile(filepath.Join(d.Path, manifestName)); err == nil {
+		if payload, err := Verify(raw); err == nil {
+			p := filepath.Join(d.Path, strings.TrimSpace(string(payload)))
+			if _, err := os.Stat(p); err == nil {
+				return p, nil
+			}
+		}
+	}
+	entries, err := d.Entries()
+	if err != nil {
+		return "", err
+	}
+	if len(entries) == 0 {
+		return "", fmt.Errorf("ckpt: rotation %s is empty: %w", d.Path, os.ErrNotExist)
+	}
+	return entries[0].Path, nil
+}
+
+// LoadLatest walks the rotation newest→oldest, handing each verified
+// payload to load until one succeeds. Entries that fail envelope
+// verification — and entries whose payload load rejects (decode error,
+// wrong dataset) — are skipped with their error recorded, so a torn or
+// bit-flipped newest file falls back to its predecessor instead of
+// failing the caller. Returns the winning entry, or an error joining
+// every per-entry failure when none loads.
+func (d *Dir) LoadLatest(load func(e Entry, payload []byte) error) (Entry, error) {
+	entries, err := d.Entries()
+	if err != nil {
+		return Entry{}, err
+	}
+	if len(entries) == 0 {
+		return Entry{}, fmt.Errorf("ckpt: rotation %s is empty: %w", d.Path, os.ErrNotExist)
+	}
+	var errs []error
+	for _, e := range entries {
+		payload, err := ReadFile(e.Path)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", e.Path, err))
+			continue
+		}
+		if err := load(e, payload); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", e.Path, err))
+			continue
+		}
+		return e, nil
+	}
+	return Entry{}, fmt.Errorf("ckpt: no loadable entry in %s: %w", d.Path, errors.Join(errs...))
+}

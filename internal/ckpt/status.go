@@ -1,0 +1,146 @@
+package ckpt
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/halk-kg/halk/internal/obs"
+)
+
+// Status tracks which checkpoint a serving process is answering from,
+// and how the hot-reload loop is faring. It backs both the
+// halk_ckpt_* metric families and the "checkpoint" section of
+// /v1/stats, so staleness is monitorable from either surface. All
+// methods are safe for concurrent use.
+type Status struct {
+	mu       sync.Mutex
+	path     string
+	dataset  string
+	seed     int64
+	step     int // training step the checkpoint was cut at; -1 unknown
+	entityV  uint64
+	loadedAt time.Time
+
+	reloads  *obs.Counter
+	failures *obs.Counter
+}
+
+// NewStatus returns an empty status; call Register to export it, and
+// SetLoaded after the initial checkpoint load.
+func NewStatus() *Status { return &Status{step: -1} }
+
+// Register exports the status on reg:
+//
+//	halk_ckpt_loaded_timestamp_seconds  gauge — unix time of the last successful load
+//	halk_ckpt_loaded_age_seconds        gauge — seconds since that load
+//	halk_ckpt_loaded_step               gauge — training step the checkpoint was cut at (-1 unknown)
+//	halk_ckpt_loaded_info{dataset,seed} gauge — constant 1, identity labels
+//	halk_ckpt_reloads_total             counter — successful hot reloads
+//	halk_ckpt_reload_failures_total     counter — rejected reload candidates (corrupt, mismatched)
+//
+// Call after the initial load so the identity labels are known.
+func (s *Status) Register(reg *obs.Registry) {
+	s.mu.Lock()
+	dataset, seed := s.dataset, s.seed
+	s.mu.Unlock()
+	reg.GaugeFunc("halk_ckpt_loaded_timestamp_seconds",
+		"Unix time the serving checkpoint was loaded.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.loadedAt.IsZero() {
+				return 0
+			}
+			return float64(s.loadedAt.UnixNano()) / 1e9
+		})
+	reg.GaugeFunc("halk_ckpt_loaded_age_seconds",
+		"Seconds since the serving checkpoint was loaded.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.loadedAt.IsZero() {
+				return 0
+			}
+			return time.Since(s.loadedAt).Seconds()
+		})
+	reg.GaugeFunc("halk_ckpt_loaded_step",
+		"Training step the serving checkpoint was cut at (-1 when unknown).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.step)
+		})
+	reg.GaugeFunc("halk_ckpt_loaded_info",
+		"Identity of the serving checkpoint (constant 1; see labels).",
+		func() float64 { return 1 },
+		obs.L("dataset", dataset), obs.L("seed", strconv.FormatInt(seed, 10)))
+	s.mu.Lock()
+	s.reloads = reg.Counter("halk_ckpt_reloads_total", "Successful checkpoint hot reloads.")
+	s.failures = reg.Counter("halk_ckpt_reload_failures_total",
+		"Checkpoint reload candidates rejected (corrupt envelope, decode failure, or dataset/config mismatch).")
+	s.mu.Unlock()
+}
+
+// SetLoaded records a successful (re)load. step < 0 means the
+// checkpoint carried no training state. The first call is the initial
+// load; subsequent calls also count a reload.
+func (s *Status) SetLoaded(path, dataset string, seed int64, step int, entityVersion uint64) {
+	s.mu.Lock()
+	first := s.loadedAt.IsZero()
+	s.path, s.dataset, s.seed = path, dataset, seed
+	s.step, s.entityV = step, entityVersion
+	s.loadedAt = time.Now()
+	c := s.reloads
+	s.mu.Unlock()
+	if !first && c != nil {
+		c.Inc()
+	}
+}
+
+// ReloadFailed counts a rejected reload candidate. The previously
+// loaded checkpoint keeps serving; nothing else changes.
+func (s *Status) ReloadFailed() {
+	s.mu.Lock()
+	c := s.failures
+	s.mu.Unlock()
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// StatusSnapshot is the JSON view of a Status (the "checkpoint"
+// section of /v1/stats).
+type StatusSnapshot struct {
+	Path          string  `json:"path"`
+	Dataset       string  `json:"dataset"`
+	Seed          int64   `json:"seed"`
+	Step          int     `json:"step"`
+	EntityVersion uint64  `json:"entity_version"`
+	LoadedAt      string  `json:"loaded_at"`
+	AgeS          float64 `json:"age_s"`
+	Reloads       uint64  `json:"reloads"`
+	Failures      uint64  `json:"reload_failures"`
+}
+
+// Snapshot returns the current status for JSON exposition.
+func (s *Status) Snapshot() StatusSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := StatusSnapshot{
+		Path:          s.path,
+		Dataset:       s.dataset,
+		Seed:          s.seed,
+		Step:          s.step,
+		EntityVersion: s.entityV,
+	}
+	if !s.loadedAt.IsZero() {
+		snap.LoadedAt = s.loadedAt.UTC().Format(time.RFC3339)
+		snap.AgeS = time.Since(s.loadedAt).Seconds()
+	}
+	if s.reloads != nil {
+		snap.Reloads = s.reloads.Value()
+		snap.Failures = s.failures.Value()
+	}
+	return snap
+}

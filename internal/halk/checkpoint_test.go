@@ -2,9 +2,14 @@ package halk
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"github.com/halk-kg/halk/internal/ckpt"
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/query"
 )
@@ -51,5 +56,187 @@ func TestCheckpointRoundTripPreservesTopK(t *testing.T) {
 				t.Fatalf("%s: TopK[%d] = %d after reload, want %d", structure, i, got[i], want[i])
 			}
 		}
+	}
+}
+
+// TestLoadCheckpointFileAdversarial feeds LoadCheckpointFile every kind
+// of bad input the serving and resume paths must survive: empty files,
+// truncation at assorted offsets, bit flips, and a header naming a
+// different dataset. Each must produce a typed error and a nil model —
+// never a half-initialized one.
+func TestLoadCheckpointFileAdversarial(t *testing.T) {
+	m, ds := testModel(t, 49)
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.ckpt")
+	if err := m.WriteCheckpointFile(good, "FB237", 49); err != nil {
+		t.Fatalf("WriteCheckpointFile: %v", err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(hdr CheckpointHeader) (*kg.Graph, error) {
+		if hdr.Dataset != "FB237" || hdr.Seed != 49 {
+			return nil, fmt.Errorf("%w: trained on %s/%d, serving FB237/49",
+				ErrCheckpointMismatch, hdr.Dataset, hdr.Seed)
+		}
+		return ds.Train, nil
+	}
+
+	// Sanity: the pristine file loads.
+	mm, info, err := LoadCheckpointFile(good, lookup)
+	if err != nil || mm == nil {
+		t.Fatalf("pristine load failed: %v", err)
+	}
+	if info.Legacy || info.Step != -1 {
+		t.Fatalf("pristine info = %+v, want non-legacy serving checkpoint", info)
+	}
+
+	typedErr := func(err error) bool {
+		return ckpt.IsCorrupt(err) ||
+			errors.Is(err, ErrCheckpointCorrupt) ||
+			errors.Is(err, ErrCheckpointMismatch)
+	}
+
+	t.Run("empty", func(t *testing.T) {
+		p := filepath.Join(dir, "empty.ckpt")
+		if err := os.WriteFile(p, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mm, _, err := LoadCheckpointFile(p, lookup)
+		if mm != nil || err == nil || !typedErr(err) {
+			t.Fatalf("empty file: model=%v err=%v", mm, err)
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{1, 4, 11, 12, len(raw) / 3, len(raw) / 2, len(raw) - 1} {
+			p := filepath.Join(dir, "trunc.ckpt")
+			if err := os.WriteFile(p, raw[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			mm, _, err := LoadCheckpointFile(p, lookup)
+			if mm != nil || err == nil || !typedErr(err) {
+				t.Fatalf("cut at %d: model=%v err=%v", cut, mm, err)
+			}
+		}
+	})
+
+	t.Run("bit-flipped", func(t *testing.T) {
+		for _, off := range []int{0, 9, 20, len(raw) / 2, len(raw) - 3} {
+			flipped := append([]byte(nil), raw...)
+			flipped[off] ^= 0x40
+			p := filepath.Join(dir, "flip.ckpt")
+			if err := os.WriteFile(p, flipped, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			mm, _, err := LoadCheckpointFile(p, lookup)
+			if mm != nil || err == nil || !typedErr(err) {
+				t.Fatalf("flip at %d: model=%v err=%v", off, mm, err)
+			}
+		}
+	})
+
+	t.Run("wrong-dataset", func(t *testing.T) {
+		p := filepath.Join(dir, "other.ckpt")
+		if err := m.WriteCheckpointFile(p, "NELL", 3); err != nil {
+			t.Fatal(err)
+		}
+		mm, _, err := LoadCheckpointFile(p, lookup)
+		if mm != nil || !errors.Is(err, ErrCheckpointMismatch) {
+			t.Fatalf("wrong dataset: model=%v err=%v", mm, err)
+		}
+	})
+
+	t.Run("legacy-bare-gob", func(t *testing.T) {
+		p := filepath.Join(dir, "legacy.ckpt")
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SaveCheckpoint(f, "FB237", 49); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		mm, info, err := LoadCheckpointFile(p, lookup)
+		if err != nil || mm == nil {
+			t.Fatalf("legacy load failed: %v", err)
+		}
+		if !info.Legacy {
+			t.Fatalf("info.Legacy = false for bare-gob file")
+		}
+	})
+}
+
+// TestReloadFromFile covers the serving hot-swap: a matching checkpoint
+// replaces the live parameters and bumps the entity version; corrupt or
+// mismatched files change nothing.
+func TestReloadFromFile(t *testing.T) {
+	m, _ := testModel(t, 49)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.ckpt")
+	if err := m.WriteCheckpointFile(path, "FB237", 49); err != nil {
+		t.Fatalf("WriteCheckpointFile: %v", err)
+	}
+	var saved bytes.Buffer
+	if err := m.Params().Save(&saved); err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb the live parameters, then reload: the saved values must
+	// come back and the entity version must advance.
+	ent := m.Params().Get("entity")
+	if ent == nil {
+		t.Fatal("entity tensor not registered")
+	}
+	before := m.EntityVersion()
+	ent.Data[0] += 1.5
+	if _, err := m.ReloadFromFile(path, "FB237", 49); err != nil {
+		t.Fatalf("ReloadFromFile: %v", err)
+	}
+	if m.EntityVersion() == before {
+		t.Fatalf("entity version did not advance on reload")
+	}
+	var after bytes.Buffer
+	if err := m.Params().Save(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saved.Bytes(), after.Bytes()) {
+		t.Fatalf("parameters not restored by reload")
+	}
+
+	// Mismatched identity: typed error, parameters untouched.
+	ent.Data[0] += 2.5
+	var dirty bytes.Buffer
+	if err := m.Params().Save(&dirty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReloadFromFile(path, "NELL", 49); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("wrong dataset reload: err=%v", err)
+	}
+	if _, err := m.ReloadFromFile(path, "FB237", 50); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("wrong seed reload: err=%v", err)
+	}
+
+	// Corrupt file: typed error, parameters untouched.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(bad, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReloadFromFile(bad, "FB237", 49); err == nil || !ckpt.IsCorrupt(err) {
+		t.Fatalf("torn reload: err=%v", err)
+	}
+	var still bytes.Buffer
+	if err := m.Params().Save(&still); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dirty.Bytes(), still.Bytes()) {
+		t.Fatalf("failed reload modified live parameters")
 	}
 }

@@ -1,0 +1,105 @@
+package model
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/halk-kg/halk/internal/autodiff"
+	"github.com/halk-kg/halk/internal/ckpt"
+)
+
+// CheckpointConfig wires the durable checkpoint lifecycle into Train:
+// periodic crash-safe checkpoints into a rotation directory, a final
+// checkpoint on interrupt (SIGINT/SIGTERM in halk-train), and exact
+// resume from a previously saved TrainState.
+//
+// A training checkpoint is a superset of a serving checkpoint: the gob
+// payload is [model header] [parameters] [TrainState] [Adam moments],
+// so halk.LoadCheckpoint (which stops after the parameters) can serve
+// from any rotation entry, while DecodeTrainState reads the trailing
+// optimizer state for bit-exact resume.
+type CheckpointConfig struct {
+	// Dir is the rotation directory checkpoints are written to. Required
+	// (a CheckpointConfig without a Dir disables checkpointing).
+	Dir *ckpt.Dir
+	// Every cuts a checkpoint each time this many optimizer steps
+	// complete (aligned to absolute step numbers, so a resumed run keeps
+	// the cadence of the original). 0 means only the final/interrupt
+	// checkpoints are written.
+	Every int
+	// Header writes the model identity (e.g. halk.CheckpointHeader) at
+	// the head of each payload, so a loader can rebuild the model before
+	// decoding parameters.
+	Header func(enc *gob.Encoder) error
+	// Resume, when non-nil, continues an interrupted run: Train skips to
+	// Resume.Step, restores the optimizer's update counter, and replays
+	// the training RNG to the exact state it had at that step. The
+	// caller must already have loaded the matching parameters and Adam
+	// moments into the model (see DecodeTrainState).
+	Resume *TrainState
+	// Interrupt, when non-nil, requests a graceful stop: as soon as the
+	// channel is closed (or receives), Train cuts a final checkpoint at
+	// the current step boundary and returns with Interrupted set.
+	Interrupt <-chan struct{}
+	// OnSave, when non-nil, observes every successful checkpoint write.
+	OnSave func(step int, path string)
+}
+
+// enabled reports whether the config actually checkpoints.
+func (c *CheckpointConfig) enabled() bool { return c != nil && c.Dir != nil }
+
+// TrainState is the trainer's exact-resume record, stored after the
+// parameters in every training checkpoint.
+type TrainState struct {
+	// Step is the number of optimizer steps completed when the
+	// checkpoint was cut; training resumes at this step index.
+	Step int
+	// AdamStep is the optimizer's update counter — it lags Step when
+	// batches were skipped (no usable instances), and the Adam bias
+	// corrections depend on it, so it is persisted separately.
+	AdamStep int
+}
+
+// saveCheckpoint writes one rotation entry at the given completed-step
+// count: header, parameters, TrainState, Adam moments.
+func saveCheckpoint(ck *CheckpointConfig, m Interface, step, adamStep int) (string, error) {
+	return ck.Dir.Save(step, func(w io.Writer) error {
+		enc := gob.NewEncoder(w)
+		if ck.Header != nil {
+			if err := ck.Header(enc); err != nil {
+				return fmt.Errorf("model: encode checkpoint header: %w", err)
+			}
+		}
+		if err := m.Params().Encode(enc); err != nil {
+			return err
+		}
+		if err := enc.Encode(TrainState{Step: step, AdamStep: adamStep}); err != nil {
+			return fmt.Errorf("model: encode train state: %w", err)
+		}
+		return m.Params().EncodeMoments(enc)
+	})
+}
+
+// DecodeTrainState reads the optimizer state that follows the
+// parameters in a training checkpoint: the TrainState record, then the
+// Adam moment buffers, which are restored into p. dec must be the same
+// decoder that already consumed the header and parameters (gob streams
+// are single-decoder).
+//
+// A serving-only checkpoint (written by SaveCheckpoint rather than the
+// trainer) has no trailing state; that surfaces as an io.EOF-wrapped
+// error the caller may treat as "cannot resume, can still serve".
+func DecodeTrainState(dec *gob.Decoder, p *autodiff.Params) (TrainState, error) {
+	var st TrainState
+	if err := dec.Decode(&st); err != nil {
+		return TrainState{}, fmt.Errorf("model: decode train state: %w", err)
+	}
+	if st.Step < 0 || st.AdamStep < 0 || st.AdamStep > st.Step {
+		return TrainState{}, fmt.Errorf("model: decode train state: implausible state %+v", st)
+	}
+	if err := p.DecodeMoments(dec); err != nil {
+		return TrainState{}, err
+	}
+	return st, nil
+}

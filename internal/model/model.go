@@ -80,6 +80,18 @@ type TrainConfig struct {
 	// L2-norm histogram (halk_train_grad_norm). halk-train wires this to
 	// the -pprof-addr debug listener's /metrics.
 	Metrics *obs.Registry
+	// Checkpoint, when non-nil with a rotation Dir, enables the durable
+	// checkpoint lifecycle: periodic crash-safe checkpoints, a final
+	// checkpoint on interrupt, and exact resume. See CheckpointConfig.
+	Checkpoint *CheckpointConfig
+	// Workers caps the parallel gradient workers per batch; 0 means
+	// GOMAXPROCS. With Workers: 1 gradients accumulate in batch order,
+	// making training bit-deterministic — the setting under which
+	// crash + resume is verified to reproduce an uninterrupted run
+	// byte for byte. With more workers, resume still restores the RNG,
+	// optimizer and parameters exactly, but the floating-point
+	// accumulation order across workers is scheduling-dependent.
+	Workers int
 }
 
 // gradNormBuckets spans the gradient norms seen across the model zoo:
@@ -139,9 +151,16 @@ func OneHopWorkload(g *kg.Graph) []query.Query {
 
 // TrainResult reports the outcome of a training run.
 type TrainResult struct {
+	// Steps is the number of optimizer steps completed over the model's
+	// lifetime — on an interrupted run, the step the final checkpoint
+	// was cut at; on a resumed run it still counts from step 0.
 	Steps     int
 	FinalLoss float64
 	Elapsed   time.Duration
+	// Interrupted is true when training stopped early because
+	// CheckpointConfig.Interrupt fired; a final checkpoint was cut
+	// before returning, so the run can be resumed.
+	Interrupted bool
 }
 
 // Train runs the structure-batched training loop of Algorithm 1 on the
@@ -183,7 +202,10 @@ func Train(m Interface, g *kg.Graph, cfg TrainConfig) (TrainResult, error) {
 	}
 
 	opt := autodiff.NewAdam(cfg.LR)
-	workers := runtime.GOMAXPROCS(0)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > cfg.BatchSize {
 		workers = cfg.BatchSize
 	}
@@ -210,10 +232,65 @@ func Train(m Interface, g *kg.Graph, cfg TrainConfig) (TrainResult, error) {
 		gradHist = cfg.Metrics.Histogram("halk_train_grad_norm", "Global L2 gradient norm per optimizer step.", gradNormBuckets)
 	}
 
+	// Resume: skip to the checkpointed step, restore the optimizer's
+	// update counter, and replay the training RNG's draws for the steps
+	// already done. The replay makes the same Intn/Int63 calls (with the
+	// same bounds) the original run made, so the generator lands in the
+	// exact state it had at the checkpoint — resumed training is
+	// bit-identical to an uninterrupted run. Parameters and Adam moments
+	// must already be restored (DecodeTrainState).
+	ck := cfg.Checkpoint
+	first := 0
+	if ck != nil && ck.Resume != nil {
+		first = ck.Resume.Step
+		if first > cfg.Steps {
+			first = cfg.Steps
+		}
+		opt.SetStepCount(ck.Resume.AdamStep)
+		for step := 0; step < first; step++ {
+			w := workloads[usable[step%len(usable)]]
+			for b := 0; b < cfg.BatchSize; b++ {
+				rng.Intn(len(w))
+				rng.Int63()
+			}
+		}
+	}
+
+	// save cuts one rotation entry at a completed-step boundary; the
+	// write is atomic and verified, so a crash mid-save can never
+	// publish a torn file (see internal/ckpt).
+	lastSaved := -1
+	save := func(step int) error {
+		if !ck.enabled() || step == lastSaved {
+			return nil
+		}
+		path, err := saveCheckpoint(ck, m, step, opt.StepCount())
+		if err != nil {
+			return fmt.Errorf("model: checkpoint at step %d: %w", step, err)
+		}
+		lastSaved = step
+		if ck.OnSave != nil {
+			ck.OnSave(step, path)
+		}
+		return nil
+	}
+
 	start := time.Now()
 	lastLoss := 0.0
-	rateMark, rateStep := start, 0
-	for step := 0; step < cfg.Steps; step++ {
+	rateMark, rateStep := start, first
+	for step := first; step < cfg.Steps; step++ {
+		if ck != nil && ck.Interrupt != nil {
+			select {
+			case <-ck.Interrupt:
+				// Graceful stop: cut a final checkpoint at this step
+				// boundary so the run loses nothing and can resume.
+				if err := save(step); err != nil {
+					return TrainResult{Steps: step, FinalLoss: lastLoss, Elapsed: time.Since(start), Interrupted: true}, err
+				}
+				return TrainResult{Steps: step, FinalLoss: lastLoss, Elapsed: time.Since(start), Interrupted: true}, nil
+			default:
+			}
+		}
 		if cfg.LRDecay {
 			opt.LR = cfg.LR * (1 - 0.9*float64(step)/float64(cfg.Steps))
 		}
@@ -263,27 +340,40 @@ func Train(m Interface, g *kg.Graph, cfg TrainConfig) (TrainResult, error) {
 				n++
 			}
 		}
-		if n == 0 {
-			continue
-		}
-		if gradHist != nil {
-			gradHist.Observe(gradNorm(m.Params()) / float64(n))
-		}
-		opt.Step(m.Params(), float64(n))
-		lastLoss = batchLoss / float64(n)
-		if stepsTotal != nil {
-			stepsTotal.Inc()
-			lossGauge.Set(lastLoss)
-			if done := step + 1 - rateStep; done >= 100 {
-				if dt := time.Since(rateMark).Seconds(); dt > 0 {
-					stepsRate.Set(float64(done) / dt)
+		if n > 0 {
+			if gradHist != nil {
+				gradHist.Observe(gradNorm(m.Params()) / float64(n))
+			}
+			opt.Step(m.Params(), float64(n))
+			lastLoss = batchLoss / float64(n)
+			if stepsTotal != nil {
+				stepsTotal.Inc()
+				lossGauge.Set(lastLoss)
+				if done := step + 1 - rateStep; done >= 100 {
+					if dt := time.Since(rateMark).Seconds(); dt > 0 {
+						stepsRate.Set(float64(done) / dt)
+					}
+					rateMark, rateStep = time.Now(), step+1
 				}
-				rateMark, rateStep = time.Now(), step+1
+			}
+			if cfg.Progress != nil && step%100 == 0 {
+				cfg.Progress(step, lastLoss)
 			}
 		}
-		if cfg.Progress != nil && step%100 == 0 {
-			cfg.Progress(step, lastLoss)
+		// Periodic checkpoint, aligned to absolute step numbers so a
+		// resumed run keeps the original cadence. A failed write is a
+		// hard error: silently continuing would report a durability the
+		// run does not have.
+		if ck.enabled() && ck.Every > 0 && (step+1)%ck.Every == 0 {
+			if err := save(step + 1); err != nil {
+				return TrainResult{Steps: step + 1, FinalLoss: lastLoss, Elapsed: time.Since(start)}, err
+			}
 		}
+	}
+	// Final rotation entry at the last step, so a later -resume with a
+	// larger -steps budget extends this run instead of restarting it.
+	if err := save(cfg.Steps); err != nil {
+		return TrainResult{Steps: cfg.Steps, FinalLoss: lastLoss, Elapsed: time.Since(start)}, err
 	}
 	return TrainResult{Steps: cfg.Steps, FinalLoss: lastLoss, Elapsed: time.Since(start)}, nil
 }

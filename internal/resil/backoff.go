@@ -11,6 +11,7 @@ package resil
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"time"
@@ -78,6 +79,10 @@ func (b *Backoff) Delay(attempt int) time.Duration {
 // between failures. It returns nil on the first success and the last
 // error otherwise; a context cancelled mid-wait aborts immediately,
 // still returning fn's last error (the cause), not the context error.
+// An error marked with Permanent is returned at once: retrying a
+// failure that cannot succeed (a corrupt file, a config mismatch) only
+// delays the inevitable exit and hides the real cause behind attempts
+// of identical noise.
 func Retry(ctx context.Context, attempts int, b *Backoff, fn func() error) error {
 	if attempts < 1 {
 		attempts = 1
@@ -87,7 +92,7 @@ func Retry(ctx context.Context, attempts int, b *Backoff, fn func() error) error
 		if err = fn(); err == nil {
 			return nil
 		}
-		if i == attempts-1 {
+		if IsPermanent(err) || i == attempts-1 {
 			break
 		}
 		t := time.NewTimer(b.Delay(i))
@@ -99,4 +104,29 @@ func Retry(ctx context.Context, attempts int, b *Backoff, fn func() error) error
 		}
 	}
 	return err
+}
+
+// permanentError marks an error as non-retryable for Retry.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent marks err as permanent: Retry returns it immediately
+// instead of burning the remaining attempts on a failure that cannot
+// succeed — a corrupt checkpoint file, an unknown dataset name, a
+// config mismatch. A nil err stays nil. The original error remains
+// reachable through errors.Is/As.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
 }

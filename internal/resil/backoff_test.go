@@ -3,6 +3,7 @@ package resil
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -106,5 +107,56 @@ func TestRetryAtLeastOneAttempt(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("attempts<1 ran fn %d times, want 1", calls)
+	}
+}
+
+func TestRetryBailsOnPermanentError(t *testing.T) {
+	b := NewBackoff(time.Millisecond, time.Millisecond, 1)
+	calls := 0
+	perm := Permanent(errors.New("checkpoint corrupt"))
+	err := Retry(context.Background(), 5, b, func() error {
+		calls++
+		return perm
+	})
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1 (permanent errors must not retry)", calls)
+	}
+	if !errors.Is(err, perm) || !IsPermanent(err) {
+		t.Fatalf("err = %v, want the permanent error back", err)
+	}
+}
+
+func TestPermanentWrapping(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must stay nil")
+	}
+	base := errors.New("bad header")
+	p := Permanent(base)
+	if !errors.Is(p, base) {
+		t.Fatal("Permanent must keep the cause reachable via errors.Is")
+	}
+	if !IsPermanent(fmt.Errorf("load: %w", p)) {
+		t.Fatal("IsPermanent must see through wrapping")
+	}
+	if IsPermanent(base) {
+		t.Fatal("unmarked error reported permanent")
+	}
+	if p.Error() != base.Error() {
+		t.Fatalf("message changed: %q", p.Error())
+	}
+}
+
+func TestRetryStillRetriesTransientAmongAttempts(t *testing.T) {
+	b := NewBackoff(time.Microsecond, time.Microsecond, 1)
+	calls := 0
+	err := Retry(context.Background(), 4, b, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on attempt 3", err, calls)
 	}
 }

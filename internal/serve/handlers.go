@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/halk-kg/halk/internal/ckpt"
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/query"
@@ -149,7 +150,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	switch mode {
 	case "exact":
 	case "approx":
-		if s.cfg.Approx == nil {
+		if s.approxAnswerer() == nil {
 			fail(http.StatusBadRequest, "approx mode is not enabled on this server")
 			return
 		}
@@ -351,9 +352,15 @@ func (s *Server) rank(ctx context.Context, root *query.Node, k int, mode string)
 		return nil, nil, err
 	}
 	if mode == "approx" {
+		a := s.approxAnswerer()
+		if a == nil {
+			// The index was swapped out between the mode check and this
+			// worker picking the request up.
+			return nil, nil, fmt.Errorf("approx mode is not enabled on this server")
+		}
 		begin := time.Now()
-		ids := s.cfg.Approx.TopKApprox(root, k)
-		s.metrics.observePool(s.cfg.Approx.PoolSize(root))
+		ids := a.TopKApprox(root, k)
+		s.metrics.observePool(a.PoolSize(root))
 		answers := make([]Answer, len(ids))
 		for i, e := range ids {
 			answers[i] = Answer{ID: e, Entity: s.cfg.Entities.Name(int32(e))}
@@ -456,6 +463,10 @@ type statsResponse struct {
 	Shards    []shard.ShardStats `json:"shards,omitempty"`
 	// Admission describes the load-shedding gate when one is configured.
 	Admission *admissionSnapshot `json:"admission,omitempty"`
+	// Checkpoint reports the served checkpoint's freshness when the
+	// process wired a ckpt.Status: file, training step, load time, and
+	// hot-reload outcome counters.
+	Checkpoint *ckpt.StatusSnapshot `json:"checkpoint,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -468,8 +479,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Workers:   s.workers,
 		Endpoints: endpoints,
 		Cache:     s.cache.stats(),
-		ApproxOn:  s.cfg.Approx != nil,
+		ApproxOn:  s.approxAnswerer() != nil,
 		Pool:      pool,
+	}
+	if s.cfg.Ckpt != nil {
+		snap := s.cfg.Ckpt.Snapshot()
+		resp.Checkpoint = &snap
 	}
 	if s.cfg.Ranker != nil {
 		resp.NumShards = s.cfg.Ranker.NumShards()

@@ -24,8 +24,10 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"time"
 
+	"github.com/halk-kg/halk/internal/ckpt"
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/model"
 	"github.com/halk-kg/halk/internal/obs"
@@ -140,6 +142,11 @@ type Config struct {
 	// PanicLog receives the stack traces of recovered panics (worker
 	// pool and HTTP handlers); nil means log.Default().
 	PanicLog *log.Logger
+	// Ckpt, when set, surfaces checkpoint freshness in /v1/stats (path,
+	// training step, load time, reload and reload-failure counters).
+	// halk-serve shares one ckpt.Status between this server and its
+	// -ckpt-watch reload loop, and registers its gauges on Metrics.
+	Ckpt *ckpt.Status
 }
 
 // DefaultCacheSize is the answer-cache capacity when Config leaves
@@ -157,6 +164,13 @@ type Server struct {
 	gate    *admission // nil when MaxQueueWait is 0
 	workers int
 	mux     *http.ServeMux
+
+	// approx is the live ANN answerer (seeded from Config.Approx); it is
+	// swapped by SetApprox after a checkpoint hot-reload, since an ANN
+	// index snapshots the embeddings at build time and must be rebuilt
+	// over the new table.
+	approxMu sync.RWMutex
+	approx   ApproxAnswerer
 }
 
 // New validates cfg and assembles the server with its worker pool,
@@ -207,6 +221,7 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(cfg.Metrics),
 		workers: cfg.Workers,
 		mux:     http.NewServeMux(),
+		approx:  cfg.Approx,
 	}
 	if cfg.MaxQueueWait > 0 {
 		s.gate = newAdmission(cfg.Workers, cfg.MaxQueueWait, cfg.Metrics)
@@ -272,6 +287,24 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Workers reports the resolved ranking-pool size.
 func (s *Server) Workers() int { return s.workers }
+
+// SetApprox atomically replaces the ANN answerer behind "mode":
+// "approx" (nil disables the mode). halk-serve calls it after a
+// checkpoint hot-reload, once an index over the new embeddings is
+// rebuilt; requests racing the swap answer from whichever index they
+// observed, both of which were fully built.
+func (s *Server) SetApprox(a ApproxAnswerer) {
+	s.approxMu.Lock()
+	s.approx = a
+	s.approxMu.Unlock()
+}
+
+// approxAnswerer returns the live ANN answerer, or nil.
+func (s *Server) approxAnswerer() ApproxAnswerer {
+	s.approxMu.RLock()
+	defer s.approxMu.RUnlock()
+	return s.approx
+}
 
 // FlushCache drops every cached answer list. For models implementing
 // EntityVersioner (halk.Model does), embedding updates already make old

@@ -192,8 +192,19 @@ func (e *Engine) Version() uint64 {
 func (e *Engine) Swap(src Source) error {
 	e.swapMu.Lock()
 	defer e.swapMu.Unlock()
-	if cur := e.snap.Load(); cur != nil && src.Version <= cur.version {
+	cur := e.snap.Load()
+	if cur != nil && src.Version <= cur.version {
 		return nil
+	}
+	// A swap may refresh the values but never resize the served world:
+	// entity IDs are positions in this table, and shrinking or growing
+	// it mid-flight would silently remap every ID the dictionaries and
+	// caches still hold. (Shape errors inside buildSnapshot would catch
+	// a non-rectangular table; this catches a rectangular one of the
+	// wrong size, e.g. a hot-reloaded checkpoint from another dataset.)
+	if cur != nil && len(src.Angles) != cur.numEntities*e.p.Dim {
+		return fmt.Errorf("shard: swap source has %d angle values, published snapshot holds %d entities × dim %d",
+			len(src.Angles), cur.numEntities, e.p.Dim)
 	}
 	snap, err := buildSnapshot(e.p, e.n, src, e.annCfg)
 	if err != nil {
