@@ -10,21 +10,76 @@
 // Each invocation reloads the checkpoint. For repeated queries against
 // one checkpoint, run halk-serve instead: it loads the model once and
 // answers the same three query forms over HTTP with caching and
-// per-request deadlines.
+// per-request deadlines. With -server the checkpoint is skipped
+// entirely and the query is posted to a running halk-serve (or
+// halk-shard) process instead:
+//
+//	halk-query -server localhost:8080 -structure pi -k 10
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	"strings"
+	"time"
 
+	"github.com/halk-kg/halk/internal/cluster"
 	"github.com/halk-kg/halk/internal/halk"
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/query"
 	"github.com/halk-kg/halk/internal/sparql"
 	"github.com/halk-kg/halk/internal/viz"
 )
+
+// queryServer posts the query to a running halk-serve or halk-shard
+// process through the cluster wire protocol and prints the ranked
+// answers. No checkpoint is loaded, so there is no local ground truth
+// to mark.
+func queryServer(server, sparqlSrc, dsl, structure string, seed int64, k int, timeout time.Duration) {
+	base := strings.TrimSuffix(server, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	req := &cluster.QueryRequest{
+		SPARQL:    sparqlSrc,
+		Query:     dsl,
+		Structure: structure,
+		K:         k,
+		TimeoutMS: int(timeout / time.Millisecond),
+	}
+	if structure != "" {
+		req.Seed = seed
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout+2*time.Second)
+	defer cancel()
+	var resp cluster.QueryResponse
+	if err := cluster.DoJSON(ctx, cluster.NewHTTPClient(), http.MethodPost, base+"/v1/query", req, &resp); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\n", resp.Query)
+	if resp.Canonical != "" && resp.Canonical != resp.Query {
+		fmt.Printf("canonical: %s\n", resp.Canonical)
+	}
+	note := ""
+	if resp.Partial {
+		note = " (partial: some shards did not answer)"
+	}
+	if resp.Hi > resp.Lo {
+		note += fmt.Sprintf(" (entities [%d, %d) only)", resp.Lo, resp.Hi)
+	}
+	fmt.Printf("%d answers from %s in %.1fms%s\n", len(resp.Answers), base, resp.ElapsedMs, note)
+	for rank, a := range resp.Answers {
+		if a.Distance != nil {
+			fmt.Printf("%2d. %-12s d=%.4f\n", rank+1, a.Entity, *a.Distance)
+		} else {
+			fmt.Printf("%2d. %s\n", rank+1, a.Entity)
+		}
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -38,8 +93,18 @@ func main() {
 		k         = flag.Int("k", 10, "number of answers to print")
 		vizDim    = flag.Int("viz", -1, "render this embedding dimension as an ASCII circle")
 		seed      = flag.Int64("qseed", 7, "sampling seed for -structure")
+		server    = flag.String("server", "", "query a running halk-serve or halk-shard at this address over HTTP instead of loading a checkpoint")
+		timeout   = flag.Duration("timeout", 10*time.Second, "request deadline for -server")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		if *sparqlSrc == "" && *dsl == "" && *structure == "" {
+			log.Fatal("pass -sparql, -query or -structure")
+		}
+		queryServer(*server, *sparqlSrc, *dsl, *structure, *seed, *k, *timeout)
+		return
+	}
 
 	// LoadCheckpointFile verifies the envelope (length, checksum) before
 	// decoding, so a truncated or bit-flipped checkpoint fails with a

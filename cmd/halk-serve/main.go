@@ -43,18 +43,59 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/halk-kg/halk/internal/ann"
 	"github.com/halk-kg/halk/internal/ckpt"
+	"github.com/halk-kg/halk/internal/cluster"
 	"github.com/halk-kg/halk/internal/halk"
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/obs"
+	"github.com/halk-kg/halk/internal/query"
 	"github.com/halk-kg/halk/internal/resil"
 	"github.com/halk-kg/halk/internal/serve"
 	"github.com/halk-kg/halk/internal/shard"
 )
+
+// parseTopology resolves the -cluster/-cluster-file flags to the node
+// address list: -cluster is a comma-separated list, -cluster-file a
+// text file with one address per line (# comments and blank lines
+// skipped). Exactly one may be set.
+func parseTopology(list, file string) ([]string, error) {
+	if list != "" && file != "" {
+		return nil, fmt.Errorf("-cluster and -cluster-file are mutually exclusive")
+	}
+	var raw []string
+	switch {
+	case list != "":
+		raw = strings.Split(list, ",")
+	case file != "":
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(b), "\n") {
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			raw = append(raw, strings.Fields(line)...)
+		}
+	default:
+		return nil, nil
+	}
+	var addrs []string
+	for _, a := range raw {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster topology resolved to no node addresses")
+	}
+	return addrs, nil
+}
 
 // datasetFor regenerates the synthetic dataset a checkpoint header
 // names. An unknown name is permanent: no retry can make it loadable.
@@ -126,6 +167,11 @@ func main() {
 		brkMisses    = flag.Int("breaker-consecutive-misses", 4, "consecutive shard failures that open the breaker (negative disables)")
 		brkOpen      = flag.Duration("breaker-open", 250*time.Millisecond, "minimum breaker cool-down; each failed reopen probe adds full-jitter exponential extra")
 		brkOpenMax   = flag.Duration("breaker-open-max", 15*time.Second, "cap on the breaker cool-down's jittered extra")
+		clusterList  = flag.String("cluster", "", "router mode: comma-separated halk-shard node addresses; exact queries scatter-gather across them instead of a local engine")
+		clusterFile  = flag.String("cluster-file", "", "router mode: topology file with one halk-shard node address per line (# comments)")
+		remoteTO     = flag.Duration("remote-timeout", 2*time.Second, "per-remote scan deadline in router mode; a node that misses it is skipped and the response degrades to a partial result (0 = request deadline only)")
+		healthEvery  = flag.Duration("health-every", 2*time.Second, "router-mode node health-poll period (liveness, ranges, checkpoint versions)")
+		quorum       = flag.Int("quorum", 0, "router mode: nodes that must report a new entity version before the served version (and cache namespace) flips (0 = majority)")
 		maxQueueWait = flag.Duration("max-queue-wait", 0, "admission control: shed requests with 429 when the expected worker-queue wait exceeds min(this, the request deadline) (0 disables)")
 		ckptRetries  = flag.Int("ckpt-retries", 3, "checkpoint-load attempts before giving up (full-jitter exponential backoff between attempts; corrupt/mismatched files fail immediately)")
 		ckptWatch    = flag.Duration("ckpt-watch", 0, "poll the -ckpt path this often and hot-reload newer checkpoints into the running server (0 disables)")
@@ -207,8 +253,57 @@ func main() {
 		cfg.Approx = m.NewAnswerIndex(ann.DefaultConfig(hdr.Seed))
 		log.Print("ANN answer index built; \"mode\": \"approx\" enabled")
 	}
+	remotes, err := parseTopology(*clusterList, *clusterFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(remotes) > 0 && *shards > 0 {
+		log.Fatal("-cluster/-cluster-file and -shards are mutually exclusive: exact queries are ranked either by remote nodes or by a local engine")
+	}
+	brkCfg := func() *resil.BreakerConfig {
+		return &resil.BreakerConfig{
+			Window:            *brkWindow,
+			FailureRate:       *brkRate,
+			ConsecutiveMisses: *brkMisses,
+			OpenBase:          *brkOpen,
+			OpenMax:           *brkOpenMax,
+			Seed:              time.Now().UnixNano(),
+		}
+	}
 	var ranker *halk.ShardedRanker
-	if *shards > 0 {
+	var router *cluster.Router
+	switch {
+	case len(remotes) > 0:
+		// Router mode: the local checkpoint embeds queries; ranking
+		// scatter-gathers across the topology. The -hedge-delay and
+		// -breaker flags apply per remote node instead of per local shard.
+		rcfg := cluster.Config{
+			Remotes: remotes,
+			Embed: func(n *query.Node) []cluster.ArcSpec {
+				arcs := m.EmbedQueryLocked(n)
+				specs := make([]cluster.ArcSpec, len(arcs))
+				for i, a := range arcs {
+					specs[i] = cluster.ArcSpec{C: a.C, L: a.L, Hot: a.Hot}
+				}
+				return specs
+			},
+			ScanTimeout: *remoteTO,
+			HedgeDelay:  *hedge,
+			Quorum:      *quorum,
+			HealthEvery: *healthEvery,
+			Metrics:     reg,
+		}
+		if *breaker {
+			rcfg.Breaker = brkCfg()
+		}
+		router, err = cluster.NewRouter(rcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Ranker = router
+		log.Printf("cluster router built: %d nodes, remote timeout %v, hedge delay %v, breakers %v, quorum %d",
+			len(remotes), *remoteTO, *hedge, *breaker, *quorum)
+	case *shards > 0:
 		opts := shard.Options{
 			Shards:       *shards,
 			ShardTimeout: *shardTO,
@@ -216,14 +311,7 @@ func main() {
 			HedgeDelay:   *hedge,
 		}
 		if *breaker {
-			opts.Breaker = &resil.BreakerConfig{
-				Window:            *brkWindow,
-				FailureRate:       *brkRate,
-				ConsecutiveMisses: *brkMisses,
-				OpenBase:          *brkOpen,
-				OpenMax:           *brkOpenMax,
-				Seed:              time.Now().UnixNano(),
-			}
+			opts.Breaker = brkCfg()
 		}
 		ranker, err = m.NewShardedRanker(opts)
 		if err != nil {
@@ -232,8 +320,10 @@ func main() {
 		cfg.Ranker = ranker
 		log.Printf("sharded ranking engine built: %d shards, shard timeout %v, hedge delay %v, breakers %v",
 			ranker.NumShards(), *shardTO, *hedge, *breaker)
-	} else if *hedge > 0 || *breaker {
-		log.Fatal("-hedge-delay and -breaker require -shards > 0")
+	default:
+		if *hedge > 0 || *breaker {
+			log.Fatal("-hedge-delay and -breaker require -shards > 0 or -cluster")
+		}
 	}
 	srv, err := serve.New(cfg)
 	if err != nil {
@@ -251,6 +341,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if router != nil {
+		// One synchronous sweep before serving so the quorum version (and
+		// with it the cache namespace) is populated from the live topology,
+		// then the periodic health loop.
+		hctx, hcancel := context.WithTimeout(ctx, 5*time.Second)
+		up := router.CheckHealth(hctx)
+		hcancel()
+		log.Printf("cluster health: %d/%d nodes up, serving entity version %d", up, len(remotes), router.SnapshotVersion())
+		router.Start(ctx)
+	}
 
 	if *ckptWatch > 0 {
 		watcher := ckpt.NewWatcher(*ckptPath)

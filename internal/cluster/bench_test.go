@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+func benchQuery(b *testing.B, ds *kg.Dataset) *query.Node {
+	b.Helper()
+	s := query.NewSampler(ds.Test, rand.New(rand.NewSource(62)))
+	q, ok := s.Sample("2i")
+	if !ok {
+		b.Fatal("sampling 2i failed")
+	}
+	return q
+}
+
+// BenchmarkClusterRouterLoopback measures router-mode overhead: one
+// query scatter-gathered across a 3-node loopback topology — JSON
+// encode, three HTTP round-trips over localhost, node-side arc
+// preparation, k-way merge. Compare against
+// BenchmarkClusterInProcess, the same ranking through the in-process
+// 3-shard engine, to read the per-query cost of the network seam.
+func BenchmarkClusterRouterLoopback(b *testing.B) {
+	m, ds := testModel(61)
+	ents := ds.Train.NumEntities()
+	addrs := make([]string, 3)
+	for i := range addrs {
+		lo, hi := Partition(ents, 3, i)
+		ranker, err := m.NewRangeRanker(lo, hi, shard.Options{Shards: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		node, err := NewNode(NodeConfig{Engine: ranker.Engine(), Params: m.ShardParams()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(node.Handler())
+		defer ts.Close()
+		defer node.Close()
+		addrs[i] = ts.URL
+	}
+	rt, err := NewRouter(Config{Remotes: addrs, Embed: embedFn(m)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	rt.CheckHealth(context.Background())
+
+	q := benchQuery(b, ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.RankTopK(context.Background(), q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterInProcess is the loopback benchmark's baseline: the
+// identical query and k through the in-process 3-shard scatter-gather
+// engine, no network.
+func BenchmarkClusterInProcess(b *testing.B) {
+	m, ds := testModel(61)
+	ranker, err := m.NewShardedRanker(shard.Options{Shards: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ranker.Close()
+
+	q := benchQuery(b, ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ranker.RankTopK(context.Background(), q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

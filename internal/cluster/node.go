@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"github.com/halk-kg/halk/internal/ckpt"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/obs"
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/resil"
+	"github.com/halk-kg/halk/internal/serve"
+	"github.com/halk-kg/halk/internal/shard"
+	"github.com/halk-kg/halk/internal/sparql"
+)
+
+// FaultStageScan is the node-side fault-injection seam, fired once per
+// /v1/scan request before the engine scan (shard index 0). KindError
+// turns the scan into a 500, KindDelay wedges it (exercising the
+// router's deadline/hedge paths), KindPanic exercises the recovery
+// middleware — the chaos matrix drives all three.
+const FaultStageScan = "cluster.node.scan"
+
+// NodeConfig assembles a shard node frontend.
+type NodeConfig struct {
+	// Engine hosts the node's entity range (halk.RangeRanker.Engine()).
+	// Required.
+	Engine *shard.Engine
+	// Params are the scoring constants wire arcs are prepared with —
+	// must equal the engine's (halk.Model.ShardParams()). Required.
+	Params shard.Params
+	// Metrics is the node's registry (serving /metrics); nil means a
+	// private one.
+	Metrics *obs.Registry
+	// Ckpt, when set, feeds the checkpoint fields of /v1/healthz.
+	Ckpt *ckpt.Status
+	// ModelName labels health reports (e.g. "HaLk").
+	ModelName string
+	// Entities/Relations, when both set together with Embed, enable the
+	// debugging POST /v1/query endpoint (answers over the hosted range
+	// only — halk-query -server works against a lone node).
+	Entities  *kg.Dict
+	Relations *kg.Dict
+	// Embed turns a compiled query into wire arcs for /v1/query.
+	Embed func(n *query.Node) []ArcSpec
+	// Graph, when set, enables /v1/query structure sampling (same seeded
+	// sampler as halk-serve, so node answers line up with router answers
+	// for the same structure+seed).
+	Graph *kg.Graph
+	// DefaultTimeout bounds a scan when the request carries no
+	// timeout_ms; 0 means 10s. MaxK caps requested K; 0 means 1000.
+	DefaultTimeout time.Duration
+	MaxK           int
+	// Faults is the node's fault-injection plan (tests only; nil in
+	// production).
+	Faults *resil.Injector
+	// PanicLog receives recovered handler panics; nil means the default
+	// logger.
+	PanicLog *log.Logger
+}
+
+// Node is the HTTP frontend of a shard-hosting process: the /v1/scan
+// API the router's RemoteShard client speaks, plus the readiness,
+// stats and metrics surfaces of the serve stack. Every handler runs
+// under the serve recovery middleware, so a panicked scan costs one
+// request, not the node.
+type Node struct {
+	cfg    NodeConfig
+	mux    *http.ServeMux
+	reg    *obs.Registry
+	panics *obs.Counter
+	scans  *obs.Counter
+}
+
+// NewNode validates cfg and builds the frontend.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("cluster: NodeConfig.Engine is required")
+	}
+	if cfg.Params.Dim <= 0 {
+		return nil, fmt.Errorf("cluster: NodeConfig.Params is required")
+	}
+	if (cfg.Entities != nil) != (cfg.Relations != nil) {
+		return nil, fmt.Errorf("cluster: Entities and Relations must be set together")
+	}
+	if cfg.Entities != nil && cfg.Embed == nil {
+		return nil, fmt.Errorf("cluster: Embed is required when the query endpoint is enabled")
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 1000
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	n := &Node{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		reg:    cfg.Metrics,
+		panics: cfg.Metrics.Counter("halk_node_panics_total", "Handler panics recovered by the node frontend."),
+		scans:  cfg.Metrics.Counter("halk_node_scans_total", "Remote scan requests served."),
+	}
+	wrap := func(name string, h http.HandlerFunc) http.HandlerFunc {
+		return serve.Recover(name, n.panics, cfg.PanicLog, h)
+	}
+	n.mux.HandleFunc("/v1/scan", wrap("/v1/scan", n.handleScan))
+	n.mux.HandleFunc("/v1/healthz", wrap("/v1/healthz", n.handleHealthz))
+	n.mux.HandleFunc("/v1/stats", wrap("/v1/stats", n.handleStats))
+	n.mux.Handle("/metrics", n.reg.Handler())
+	if cfg.Entities != nil {
+		n.mux.HandleFunc("/v1/query", wrap("/v1/query", n.handleQuery))
+	}
+	return n, nil
+}
+
+// Handler returns the node's HTTP handler, ready for http.Server.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// Close drains the engine's in-flight scans.
+func (n *Node) Close() { n.cfg.Engine.Close() }
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func fail(w http.ResponseWriter, code int, format string, args ...any) {
+	serve.WriteJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// rankErrStatus maps an engine error to the HTTP status the router's
+// typed failure classification expects: 504 for deadline-shaped
+// failures, 503 for lifecycle states a retry can outwait, 500 for the
+// rest.
+func rankErrStatus(err error) int {
+	switch {
+	case errors.Is(err, shard.ErrAllShardsSkipped), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, shard.ErrNoSnapshot), errors.Is(err, shard.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleScan is POST /v1/scan: prepare the wire arcs with the node's
+// own constants and scan the hosted range, seeding the engine's prune
+// bound with the router's global bound when one was shipped.
+func (n *Node) handleScan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ScanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if req.K <= 0 {
+		fail(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
+		return
+	}
+	k := req.K
+	if k > n.cfg.MaxK {
+		k = n.cfg.MaxK
+	}
+	if len(req.Arcs) == 0 {
+		fail(w, http.StatusBadRequest, "at least one arc is required")
+		return
+	}
+	d := n.cfg.Params.Dim
+	arcs := make([]shard.Arc, len(req.Arcs))
+	for i, a := range req.Arcs {
+		if len(a.C) != d || len(a.L) != d {
+			fail(w, http.StatusBadRequest, "arc %d: want %d dimensions, got c=%d l=%d", i, d, len(a.C), len(a.L))
+			return
+		}
+		arcs[i] = shard.PrepareArc(n.cfg.Params, a.C, a.L, a.Hot)
+	}
+	if err := n.cfg.Faults.Fire(FaultStageScan, 0); err != nil {
+		fail(w, http.StatusInternalServerError, "injected scan fault: %v", err)
+		return
+	}
+
+	timeout := n.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	res, err := n.cfg.Engine.TopKBound(ctx, arcs, k, req.Bound)
+	if err != nil {
+		fail(w, rankErrStatus(err), "%v", err)
+		return
+	}
+	n.scans.Inc()
+	lo, hi := n.cfg.Engine.EntityRange()
+	serve.WriteJSON(w, http.StatusOK, &ScanResponse{
+		IDs:     res.IDs,
+		Dists:   res.Dists,
+		Partial: res.Partial,
+		Version: res.Version,
+		Lo:      lo,
+		Hi:      hi,
+	})
+}
+
+// handleHealthz is GET /v1/healthz: the node's readiness report in the
+// same shape halk-serve answers, plus the hosted range.
+func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	lo, hi := n.cfg.Engine.EntityRange()
+	h := Health{
+		Status:        "ok",
+		Model:         n.cfg.ModelName,
+		Entities:      hi - lo,
+		EntityVersion: n.cfg.Engine.Version(),
+		Shards:        n.cfg.Engine.NumShards(),
+		Lo:            lo,
+		Hi:            hi,
+	}
+	if n.cfg.Ckpt != nil {
+		snap := n.cfg.Ckpt.Snapshot()
+		h.CkptLoaded = snap.Path != ""
+		h.CkptStep = snap.Step
+		h.CkptPath = snap.Path
+	} else {
+		h.CkptLoaded = h.EntityVersion > 0
+	}
+	serve.WriteJSON(w, http.StatusOK, h)
+}
+
+// handleStats is GET /v1/stats: the hosted range plus the engine's
+// per-(local-)shard counters, mirroring halk-serve's stats shape.
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	lo, hi := n.cfg.Engine.EntityRange()
+	resp := map[string]any{
+		"model":      n.cfg.ModelName,
+		"lo":         lo,
+		"hi":         hi,
+		"entities":   hi - lo,
+		"num_shards": n.cfg.Engine.NumShards(),
+		"shards":     n.cfg.Engine.Stats(),
+		"scans":      n.scans.Value(),
+	}
+	if n.cfg.Ckpt != nil {
+		resp["checkpoint"] = n.cfg.Ckpt.Snapshot()
+	}
+	serve.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleQuery is POST /v1/query, the node's debugging endpoint: compile
+// the query, embed it with the node's model, and answer over the hosted
+// range only. It exists so halk-query -server can point at a lone shard
+// node; topology-wide answers come from the router.
+func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	root, err := n.compile(&req)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 10
+	}
+	if k > n.cfg.MaxK {
+		k = n.cfg.MaxK
+	}
+	specs := n.cfg.Embed(root)
+	if len(specs) == 0 {
+		fail(w, http.StatusBadRequest, "query embedded to no arcs")
+		return
+	}
+	arcs := make([]shard.Arc, len(specs))
+	for i, a := range specs {
+		arcs[i] = shard.PrepareArc(n.cfg.Params, a.C, a.L, a.Hot)
+	}
+	timeout := n.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	res, err := n.cfg.Engine.TopKBound(ctx, arcs, k, 0)
+	if err != nil {
+		fail(w, rankErrStatus(err), "%v", err)
+		return
+	}
+	lo, hi := n.cfg.Engine.EntityRange()
+	answers := make([]QueryAnswer, len(res.IDs))
+	for i, e := range res.IDs {
+		dist := res.Dists[i]
+		answers[i] = QueryAnswer{ID: e, Entity: n.cfg.Entities.Name(int32(e)), Distance: &dist}
+	}
+	serve.WriteJSON(w, http.StatusOK, &QueryResponse{
+		Query:     root.String(),
+		Canonical: query.CanonicalKey(root),
+		Mode:      "exact",
+		K:         k,
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+		Partial:   res.Partial,
+		Lo:        lo,
+		Hi:        hi,
+		Version:   res.Version,
+		Answers:   answers,
+	})
+}
+
+// compile resolves the request's query form, mirroring halk-serve's
+// compile (one form exactly).
+func (n *Node) compile(req *QueryRequest) (*query.Node, error) {
+	forms := 0
+	for _, set := range []bool{req.SPARQL != "", req.Query != "", req.Structure != ""} {
+		if set {
+			forms++
+		}
+	}
+	if forms != 1 {
+		return nil, fmt.Errorf("exactly one of \"sparql\", \"query\" or \"structure\" must be set")
+	}
+	switch {
+	case req.SPARQL != "":
+		pq, err := sparql.Parse(req.SPARQL)
+		if err != nil {
+			return nil, err
+		}
+		a := &sparql.Adaptor{Entities: n.cfg.Entities, Relations: n.cfg.Relations}
+		return a.Compile(pq)
+	case req.Query != "":
+		return query.Parse(req.Query, n.cfg.Entities, n.cfg.Relations)
+	default:
+		if n.cfg.Graph == nil {
+			return nil, fmt.Errorf("structure sampling is not enabled on this node")
+		}
+		if !query.HasStructure(req.Structure) {
+			return nil, fmt.Errorf("unknown structure %q; known: %v", req.Structure, query.StructureNames())
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		sampler := query.NewSampler(n.cfg.Graph, rand.New(rand.NewSource(seed)))
+		root, ok := sampler.Sample(req.Structure)
+		if !ok {
+			return nil, fmt.Errorf("could not sample a %q query from the node's graph", req.Structure)
+		}
+		return root, nil
+	}
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// StatusError is a non-2xx reply from a node, carrying the decoded
+// error body when one was present. It feeds the router's typed failure
+// classification: any StatusError is a remote-local fault (the node was
+// reachable but could not answer) and counts against that remote's
+// circuit breaker.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("cluster: remote returned HTTP %d", e.Code)
+	}
+	return fmt.Sprintf("cluster: remote returned HTTP %d: %s", e.Code, e.Msg)
+}
+
+// NewHTTPClient returns the HTTP client the cluster client code shares:
+// keep-alive connection reuse sized for scatter fan-out (every query
+// hits every node, so idle connections per host are worth keeping), and
+// no client-level timeout — deadlines ride the request context, derived
+// per scan from the gather budget.
+func NewHTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
+// DoJSON sends in (nil for a bodyless request) to url with the given
+// method and decodes a 2xx reply into out (nil discards the body). A
+// non-2xx reply returns *StatusError with the body's "error" field;
+// transport failures (connection refused, context deadline) return the
+// underlying error, which preserves errors.Is(err, context.DeadlineExceeded)
+// through net/http's wrapping.
+func DoJSON(ctx context.Context, hc *http.Client, method, url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("cluster: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	res, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode/100 != 2 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(io.LimitReader(res.Body, 4096)).Decode(&eb)
+		return &StatusError{Code: res.StatusCode, Msg: eb.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+		return fmt.Errorf("cluster: decode response: %w", err)
+	}
+	return nil
+}
+
+// RemoteShard implements the shard scan seam over one node's HTTP API.
+// It is stateless apart from the shared connection pool; the router
+// layers breakers, hedging and stats on top, exactly as the in-process
+// engine layers them on local scan goroutines.
+type RemoteShard struct {
+	addr string // as configured (host:port or URL), for labels and logs
+	base string // http://host:port
+	hc   *http.Client
+}
+
+// NewRemoteShard builds a client for the node at addr ("host:port", or
+// a full URL). hc nil means NewHTTPClient(); pass one shared client for
+// a whole topology so connections pool across remotes.
+func NewRemoteShard(addr string, hc *http.Client) *RemoteShard {
+	base := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if hc == nil {
+		hc = NewHTTPClient()
+	}
+	return &RemoteShard{addr: addr, base: base, hc: hc}
+}
+
+// Addr returns the configured node address (metric label, log key).
+func (r *RemoteShard) Addr() string { return r.addr }
+
+// Scan runs one remote top-K scan. The context bounds the request end
+// to end; the node additionally honours req.TimeoutMS server-side.
+func (r *RemoteShard) Scan(ctx context.Context, req *ScanRequest) (*ScanResponse, error) {
+	var resp ScanResponse
+	if err := DoJSON(ctx, r.hc, http.MethodPost, r.base+"/v1/scan", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health fetches the node's readiness report.
+func (r *RemoteShard) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := DoJSON(ctx, r.hc, http.MethodGet, r.base+"/v1/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

@@ -1,0 +1,570 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/obs"
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/resil"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+// Config assembles a Router.
+type Config struct {
+	// Remotes are the node addresses ("host:port" or URLs), one per
+	// hosted entity range. Required, at least one.
+	Remotes []string
+	// Embed turns a query DAG into wire arcs; halk-serve wires the
+	// model's EmbedQueryLocked. Required.
+	Embed func(n *query.Node) []ArcSpec
+	// ScanTimeout bounds each remote scan; a remote that misses it is
+	// skipped and the merged result is marked partial — the cluster
+	// analogue of shard.Options.ShardTimeout. 0 means remotes are
+	// bounded only by the query context.
+	ScanTimeout time.Duration
+	// HedgeDelay enables hedged remote scans: when a node has not
+	// answered after max(HedgeDelay, its observed p99 scan latency) —
+	// capped at ScanTimeout — a second identical request is issued and
+	// the first result wins. Node snapshots are immutable, so either
+	// answer is byte-identical. 0 disables hedging.
+	HedgeDelay time.Duration
+	// Breaker, when non-nil, guards each remote with a circuit breaker
+	// built from this config: nodes that keep failing are skipped up
+	// front (immediate partial degradation) until a half-open probe
+	// succeeds.
+	Breaker *resil.BreakerConfig
+	// Quorum is how many nodes must report a new entity version before
+	// the router flips its served version — and with it the answer
+	// cache's key namespace — during a checkpoint rollout. 0 means a
+	// majority (len(Remotes)/2 + 1).
+	Quorum int
+	// HealthEvery is the Start loop's health-poll period; 0 means 2s.
+	HealthEvery time.Duration
+	// Metrics is the registry the per-remote counters register on; nil
+	// means a private one.
+	Metrics *obs.Registry
+	// Client is the shared HTTP client; nil means NewHTTPClient().
+	Client *http.Client
+}
+
+// Router scatter-gathers ranking queries across remote shard nodes and
+// merges their local top-K lists into the global answer. It implements
+// serve.Ranker, so halk-serve's caching, admission control, partial
+// semantics and stats surfaces apply to a topology of remote nodes
+// exactly as they apply to an in-process engine.
+//
+// All methods are safe for concurrent use.
+type Router struct {
+	cfg     Config
+	remotes []*RemoteShard
+	// breakers is one circuit breaker per remote slot (nil when
+	// Config.Breaker was nil).
+	breakers []*resil.Breaker
+	stats    []*remoteStat
+	reg      *obs.Registry
+
+	// version is the quorum-agreed entity version — what SnapshotVersion
+	// reports and the serve cache namespaces keys by. It only moves
+	// forward, and only once Quorum nodes have reported the new version
+	// (see CheckHealth), so a half-rolled-out checkpoint never flips the
+	// cache back and forth.
+	version atomic.Uint64
+
+	// scanWG tracks every remote-scan goroutine — scatter and hedge —
+	// so Close can await stragglers; closeMu serialises new gathers
+	// against Close (see shard.Engine for the pattern).
+	scanWG  sync.WaitGroup
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// NewRouter validates cfg and builds the router. It performs no I/O:
+// call Start (or CheckHealth) to populate node health and the served
+// version.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Remotes) == 0 {
+		return nil, fmt.Errorf("cluster: Config.Remotes is required")
+	}
+	if cfg.Embed == nil {
+		return nil, fmt.Errorf("cluster: Config.Embed is required")
+	}
+	if cfg.Quorum < 0 || cfg.Quorum > len(cfg.Remotes) {
+		return nil, fmt.Errorf("cluster: Quorum %d out of range for %d remotes", cfg.Quorum, len(cfg.Remotes))
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = NewHTTPClient()
+	}
+	rt := &Router{
+		cfg:   cfg,
+		reg:   cfg.Metrics,
+		stats: newRemoteStats(cfg.Metrics, cfg.Remotes),
+	}
+	rt.remotes = make([]*RemoteShard, len(cfg.Remotes))
+	for i, addr := range cfg.Remotes {
+		rt.remotes[i] = NewRemoteShard(addr, hc)
+	}
+	if cfg.Breaker != nil {
+		rt.breakers = make([]*resil.Breaker, len(rt.remotes))
+		for i := range rt.breakers {
+			b := resil.NewBreaker(*cfg.Breaker)
+			rt.breakers[i] = b
+			cfg.Metrics.GaugeFunc("halk_remote_breaker_state",
+				"Circuit breaker state per remote node (0=closed, 1=open, 2=half-open).",
+				func() float64 { return float64(b.State()) },
+				obs.L("node", cfg.Remotes[i]))
+		}
+	}
+	return rt, nil
+}
+
+// quorum resolves the configured quorum (0 = majority).
+func (rt *Router) quorum() int {
+	if rt.cfg.Quorum > 0 {
+		return rt.cfg.Quorum
+	}
+	return len(rt.remotes)/2 + 1
+}
+
+// Start launches the health loop: an immediate sweep, then one every
+// HealthEvery until ctx dies. The loop keeps per-node liveness, ranges
+// and versions fresh, and flips the served version when a quorum of
+// nodes reports a newer one (the coordinated-checkpoint-rollout seam).
+func (rt *Router) Start(ctx context.Context) {
+	every := rt.cfg.HealthEvery
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	go func() {
+		sweep := func() {
+			hctx, cancel := context.WithTimeout(ctx, every)
+			rt.CheckHealth(hctx)
+			cancel()
+		}
+		sweep()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+			sweep()
+		}
+	}()
+}
+
+// CheckHealth probes every node's /v1/healthz concurrently, records
+// per-node liveness/range/version, advances the quorum version, and
+// reports how many nodes answered. Called by the Start loop; also
+// useful synchronously (process startup, tests).
+func (rt *Router) CheckHealth(ctx context.Context) int {
+	var wg sync.WaitGroup
+	healths := make([]*Health, len(rt.remotes))
+	for i := range rt.remotes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := rt.remotes[i].Health(ctx)
+			if err != nil {
+				rt.stats[i].setHealth(nil, false)
+				return
+			}
+			healths[i] = h
+			rt.stats[i].setHealth(h, true)
+		}(i)
+	}
+	wg.Wait()
+
+	up := 0
+	versions := make([]uint64, 0, len(healths))
+	for _, h := range healths {
+		if h == nil {
+			continue
+		}
+		up++
+		versions = append(versions, h.EntityVersion)
+	}
+	// Quorum flip: the highest version at least Quorum nodes have
+	// reached. Sorting descending, that is the q-th highest report.
+	if q := rt.quorum(); len(versions) >= q {
+		sort.Slice(versions, func(i, j int) bool { return versions[i] > versions[j] })
+		cand := versions[q-1]
+		for {
+			cur := rt.version.Load()
+			if cand <= cur || rt.version.CompareAndSwap(cur, cand) {
+				break
+			}
+		}
+	}
+	return up
+}
+
+// SnapshotVersion reports the quorum-agreed entity version (0 before
+// the first successful health sweep). serve namespaces answer-cache
+// keys by it, so flipping it on rollout makes every pre-rollout entry
+// unreachable at once.
+func (rt *Router) SnapshotVersion() uint64 { return rt.version.Load() }
+
+// NumShards reports the topology width — one "shard" per remote node.
+func (rt *Router) NumShards() int { return len(rt.remotes) }
+
+// Metrics returns the registry the router's counters live on.
+func (rt *Router) Metrics() *obs.Registry { return rt.reg }
+
+// ShardStats adapts the per-remote counters to the serve stats shape:
+// each remote appears as one shard with its hosted range (as of the
+// last health check), scan/timeout/error/hedge counters and breaker
+// snapshot.
+func (rt *Router) ShardStats() []shard.ShardStats {
+	out := make([]shard.ShardStats, len(rt.remotes))
+	for i, st := range rt.stats {
+		lo, hi, _, _ := st.health()
+		out[i] = shard.ShardStats{
+			Shard:        i,
+			Lo:           lo,
+			Hi:           hi,
+			Scans:        st.scans.Value(),
+			Skips:        st.timeouts.Value(),
+			Errors:       st.errors.Value(),
+			BreakerSkips: st.breakerSkips.Value(),
+			Hedges:       st.hedges.Value(),
+			HedgeWins:    st.hedgeWins.Value(),
+			LastScanMs:   st.lastMs.Value(),
+			MeanScanMs:   st.scanMs.Mean(),
+			MaxScanMs:    st.maxMs.Value(),
+		}
+		if rt.breakers != nil {
+			bs := rt.breakers[i].Stats()
+			out[i].Breaker = &bs
+		}
+	}
+	return out
+}
+
+// Close waits for every in-flight remote scan — scatter and hedge — to
+// drain. Rankings issued after Close begins are refused with
+// shard.ErrClosed. Idempotent.
+func (rt *Router) Close() {
+	rt.closeMu.Lock()
+	rt.closed = true
+	rt.closeMu.Unlock()
+	rt.scanWG.Wait()
+}
+
+// remoteLocal is one node's contribution to a gather — the cluster
+// analogue of the engine's per-shard localTopK, with the same
+// skipped/failed/tripped outcome classification feeding the breakers.
+type remoteLocal struct {
+	ids     []kg.EntityID
+	d       []float64
+	version uint64
+	partial bool // node answered but degraded (local sub-shard skipped)
+	skipped bool
+	failed  bool // remote-local fault: deadline, transport error, non-2xx
+	tripped bool // refused up front by an open breaker; no outcome
+}
+
+// gatherBound is the router's shared pruning bound: the smallest k-th
+// best distance any node has returned so far this query. Requests ship
+// its current value so late scans (hedges, stragglers under retry)
+// prune server-side.
+type gatherBound struct{ bits atomic.Uint64 }
+
+func (b *gatherBound) init()         { b.bits.Store(math.Float64bits(math.Inf(1))) }
+func (b *gatherBound) load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// wire returns the bound in wire form: 0 when no node has answered yet.
+func (b *gatherBound) wire() float64 {
+	v := b.load()
+	if math.IsInf(v, 1) {
+		return 0
+	}
+	return v
+}
+
+func (b *gatherBound) update(v float64) {
+	nb := math.Float64bits(v)
+	for {
+		old := b.bits.Load()
+		if nb >= old {
+			return
+		}
+		if b.bits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
+
+// RankTopK embeds the query, scatters the wire arcs to every healthy
+// remote, and merges the local top-K lists into the global k best —
+// the serve.Ranker entry point. A node that misses its deadline, fails,
+// or sits behind an open breaker is skipped and the result degrades to
+// Partial with the surviving nodes' answers; only when every node is
+// lost does the gather fail (shard.ErrAllShardsSkipped).
+func (rt *Router) RankTopK(ctx context.Context, n *query.Node, k int) (*shard.Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k must be positive, got %d", k)
+	}
+	specs := rt.cfg.Embed(n)
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: query embedded to no arcs")
+	}
+
+	var gb gatherBound
+	gb.init()
+	tr := obs.FromContext(ctx)
+	locals := make([]remoteLocal, len(rt.remotes))
+	scatterStart := time.Now()
+	var wg sync.WaitGroup
+	rt.closeMu.RLock()
+	if rt.closed {
+		rt.closeMu.RUnlock()
+		return nil, shard.ErrClosed
+	}
+	for i := range rt.remotes {
+		if rt.breakers != nil && !rt.breakers[i].Allow() {
+			locals[i].skipped = true
+			locals[i].tripped = true
+			rt.stats[i].breakerSkips.Inc()
+			continue
+		}
+		wg.Add(1)
+		rt.scanWG.Add(1)
+		go func(i int) {
+			defer rt.scanWG.Done()
+			defer wg.Done()
+			rt.runRemote(ctx, i, specs, k, &gb, &locals[i])
+		}(i)
+	}
+	rt.closeMu.RUnlock()
+	wg.Wait()
+	tr.Observe(obs.StageShardScatter, time.Since(scatterStart))
+	if err := ctx.Err(); err != nil {
+		// The whole query died; remote outcomes under a dead parent
+		// carry no signal, but admitted half-open probes must be
+		// released (see shard.Engine.run).
+		if rt.breakers != nil {
+			for i := range locals {
+				if !locals[i].tripped {
+					rt.breakers[i].Cancel()
+				}
+			}
+		}
+		return nil, err
+	}
+	if rt.breakers != nil {
+		for i := range locals {
+			switch {
+			case locals[i].tripped:
+				// Never called; no outcome.
+			case locals[i].failed:
+				rt.breakers[i].Failure()
+			case !locals[i].skipped:
+				rt.breakers[i].Success()
+			default:
+				rt.breakers[i].Cancel()
+			}
+		}
+	}
+	mergeStart := time.Now()
+	res, err := rt.merge(locals, k)
+	tr.Observe(obs.StageHeapMerge, time.Since(mergeStart))
+	return res, err
+}
+
+// runRemote runs one node's scan, optionally racing a hedge after the
+// node's hedge delay — the remote mirror of shard.Engine.runShard. The
+// per-remote deadline is applied once here and shared by primary and
+// hedge, so a wedged node bounds the gather at ~ScanTimeout.
+func (rt *Router) runRemote(ctx context.Context, i int, specs []ArcSpec, k int, gb *gatherBound, out *remoteLocal) {
+	sctx := ctx
+	var cancel context.CancelFunc
+	if rt.cfg.ScanTimeout > 0 {
+		sctx, cancel = context.WithTimeout(ctx, rt.cfg.ScanTimeout)
+	} else {
+		sctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel() // the losing scan is abandoned, not awaited
+	if rt.cfg.HedgeDelay <= 0 {
+		rt.scanRemote(sctx, ctx, i, specs, k, gb, out)
+		return
+	}
+
+	type scanDone struct {
+		local remoteLocal
+		hedge bool
+	}
+	results := make(chan scanDone, 2)
+	launch := func(hedge bool) {
+		rt.scanWG.Add(1)
+		go func() {
+			defer rt.scanWG.Done()
+			var l remoteLocal
+			rt.scanRemote(sctx, ctx, i, specs, k, gb, &l)
+			results <- scanDone{local: l, hedge: hedge}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(rt.hedgeDelayFor(i))
+	defer timer.Stop()
+	select {
+	case r := <-results:
+		*out = r.local
+		return
+	case <-timer.C:
+		rt.stats[i].hedges.Inc()
+		launch(true)
+	}
+	first := <-results
+	if !first.local.skipped {
+		*out = first.local
+		if first.hedge {
+			rt.stats[i].hedgeWins.Inc()
+		}
+		return
+	}
+	second := <-results
+	if !second.local.skipped {
+		*out = second.local
+		if second.hedge {
+			rt.stats[i].hedgeWins.Inc()
+		}
+		return
+	}
+	out.skipped = true
+	out.failed = first.local.failed || second.local.failed
+}
+
+// hedgeDelayFor derives remote i's hedge delay: the configured floor
+// raised to the node's observed p99 scan latency, capped at the scan
+// timeout.
+func (rt *Router) hedgeDelayFor(i int) time.Duration {
+	d := rt.cfg.HedgeDelay
+	if p99 := rt.stats[i].scanMs.Quantile(0.99); p99 > 0 {
+		if observed := time.Duration(p99 * float64(time.Millisecond)); observed > d {
+			d = observed
+		}
+	}
+	if rt.cfg.ScanTimeout > 0 && d > rt.cfg.ScanTimeout {
+		d = rt.cfg.ScanTimeout
+	}
+	return d
+}
+
+// scanRemote issues one scan request under sctx (the remote-scoped
+// context carrying the per-remote deadline) and classifies the outcome;
+// qctx is the whole query's context, consulted to tell "this remote is
+// slow" (remote-local fault) from "the query died" (no outcome) and
+// "a hedge race was lost" (no outcome).
+func (rt *Router) scanRemote(sctx, qctx context.Context, i int, specs []ArcSpec, k int, gb *gatherBound, out *remoteLocal) {
+	req := &ScanRequest{Arcs: specs, K: k, Bound: gb.wire()}
+	if dl, ok := sctx.Deadline(); ok {
+		if ms := int(time.Until(dl) / time.Millisecond); ms > 0 {
+			req.TimeoutMS = ms
+		}
+	}
+	start := time.Now()
+	resp, err := rt.remotes[i].Scan(sctx, req)
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		out.skipped = true
+		switch {
+		case qctx.Err() != nil:
+			// The whole query died; no remote is at fault.
+		case errors.Is(err, context.DeadlineExceeded):
+			out.failed = true
+			rt.stats[i].timeouts.Inc()
+		case errors.Is(err, context.Canceled):
+			// Lost hedge race; the result is discarded, not blamed.
+		default:
+			out.failed = true
+			rt.stats[i].errors.Inc()
+		}
+		return
+	}
+	out.ids, out.d = resp.IDs, resp.Dists
+	out.version = resp.Version
+	out.partial = resp.Partial
+	if len(resp.Dists) == k && !resp.Partial {
+		// A full non-degraded local list: its k-th best upper-bounds the
+		// global k-th best, so later scans (hedges) can prune against it.
+		gb.update(resp.Dists[k-1])
+	}
+	rt.stats[i].record(elapsed)
+}
+
+// merge folds the nodes' sorted local lists into the global top k with
+// the engine's (distance, ID) ordering. The result is Partial when any
+// node was skipped, any node answered degraded, or the answering nodes
+// disagree on their snapshot version (mid-rollout skew: the merged list
+// mixes two embedding tables, so it must not be cached).
+func (rt *Router) merge(locals []remoteLocal, k int) (*shard.Result, error) {
+	res := &shard.Result{Version: rt.version.Load()}
+	total := 0
+	skew := false
+	var ver uint64
+	verSet := false
+	for i := range locals {
+		if locals[i].skipped {
+			res.Skipped = append(res.Skipped, i)
+			continue
+		}
+		res.Answered = append(res.Answered, i)
+		total += len(locals[i].d)
+		if locals[i].partial {
+			res.Partial = true
+		}
+		if !verSet {
+			ver, verSet = locals[i].version, true
+		} else if locals[i].version != ver {
+			skew = true
+		}
+	}
+	if len(res.Answered) == 0 {
+		return nil, shard.ErrAllShardsSkipped
+	}
+	if len(res.Skipped) > 0 || skew {
+		res.Partial = true
+	}
+
+	if k > total {
+		k = total
+	}
+	res.IDs = make([]kg.EntityID, 0, k)
+	res.Dists = make([]float64, 0, k)
+	heads := make([]int, len(locals))
+	for len(res.IDs) < k {
+		best := -1
+		for _, i := range res.Answered {
+			h := heads[i]
+			if h >= len(locals[i].d) {
+				continue
+			}
+			if best < 0 || locals[i].d[h] < locals[best].d[heads[best]] ||
+				(locals[i].d[h] == locals[best].d[heads[best]] && locals[i].ids[h] < locals[best].ids[heads[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		res.IDs = append(res.IDs, locals[best].ids[heads[best]])
+		res.Dists = append(res.Dists, locals[best].d[heads[best]])
+		heads[best]++
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"sync"
+
+	"github.com/halk-kg/halk/internal/obs"
+)
+
+// remoteStat holds one remote slot's counters as handles into the obs
+// registry — the cluster mirror of the engine's per-shard stats, one
+// series family per outcome, labelled node="addr" so /metrics tells the
+// remotes apart. Everything is atomic (or under the small range mutex),
+// so scatter goroutines publish and the stats reader observes without
+// blocking a gather.
+type remoteStat struct {
+	scans        *obs.Counter   // completed remote scans
+	timeouts     *obs.Counter   // scans abandoned on the per-remote deadline
+	errors       *obs.Counter   // transport failures and non-2xx replies
+	breakerSkips *obs.Counter   // scans refused up front by an open breaker
+	hedges       *obs.Counter   // hedge scans issued
+	hedgeWins    *obs.Counter   // gathers where the hedge finished first
+	scanMs       *obs.Histogram // completed-scan latency
+	lastMs       *obs.Gauge
+	maxMs        *obs.Gauge
+	up           *obs.Gauge // 1 = last health check answered, 0 = down
+	versionG     *obs.Gauge // entity version the node last reported
+
+	// Range and version as of the last successful health check (the
+	// router's view of the node, exported through ShardStats).
+	mu      sync.Mutex
+	lo, hi  int
+	version uint64
+	healthy bool
+}
+
+// newRemoteStats registers the per-remote series (labelled node="addr")
+// on reg.
+func newRemoteStats(reg *obs.Registry, addrs []string) []*remoteStat {
+	out := make([]*remoteStat, len(addrs))
+	for i, addr := range addrs {
+		l := obs.L("node", addr)
+		out[i] = &remoteStat{
+			scans:        reg.Counter("halk_remote_scans_total", "Completed remote shard scans.", l),
+			timeouts:     reg.Counter("halk_remote_timeouts_total", "Remote scans abandoned on the per-remote deadline.", l),
+			errors:       reg.Counter("halk_remote_errors_total", "Remote scans failed by transport errors or non-2xx replies.", l),
+			breakerSkips: reg.Counter("halk_remote_breaker_skips_total", "Remote scans refused up front by an open circuit breaker.", l),
+			hedges:       reg.Counter("halk_remote_hedges_total", "Hedge scans issued after the per-remote hedge delay.", l),
+			hedgeWins:    reg.Counter("halk_remote_hedge_wins_total", "Gathers where the hedge scan finished before the primary.", l),
+			scanMs:       reg.Histogram("halk_remote_scan_duration_ms", "Latency of completed remote scans in milliseconds.", obs.LatencyBuckets, l),
+			lastMs:       reg.Gauge("halk_remote_last_scan_ms", "Latency of the most recent completed remote scan.", l),
+			maxMs:        reg.Gauge("halk_remote_max_scan_ms", "Worst completed remote-scan latency since process start.", l),
+			up:           reg.Gauge("halk_remote_up", "1 when the node answered its last health check, else 0.", l),
+			versionG:     reg.Gauge("halk_remote_entity_version", "Entity-table version the node last reported.", l),
+		}
+	}
+	return out
+}
+
+func (st *remoteStat) record(ms float64) {
+	st.scans.Inc()
+	st.scanMs.Observe(ms)
+	st.lastMs.Set(ms)
+	st.maxMs.SetMax(ms)
+}
+
+// setHealth records a health-check outcome: the node's reported range
+// and version on success, down on failure.
+func (st *remoteStat) setHealth(h *Health, ok bool) {
+	st.mu.Lock()
+	st.healthy = ok
+	if ok {
+		st.lo, st.hi, st.version = h.Lo, h.Hi, h.EntityVersion
+	}
+	st.mu.Unlock()
+	if ok {
+		st.up.Set(1)
+		st.versionG.Set(float64(h.EntityVersion))
+	} else {
+		st.up.Set(0)
+	}
+}
+
+// health returns the last health-check view.
+func (st *remoteStat) health() (lo, hi int, version uint64, healthy bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lo, st.hi, st.version, st.healthy
+}

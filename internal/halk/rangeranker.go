@@ -1,0 +1,94 @@
+package halk
+
+import (
+	"fmt"
+
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+// RangeRanker hosts one contiguous slice [lo, hi) of the model's entity
+// table behind a shard.Engine — the node-local half of the multi-node
+// scatter-gather path. A halk-shard process builds one over the range it
+// was assigned, scans it (optionally sub-sharded across local cores)
+// for every remote scan request, and returns local top-K lists whose
+// entity IDs are global (the engine snapshot is built with Source.Base),
+// so the router can merge node results exactly like in-process shard
+// heaps.
+//
+// Like ShardedRanker, the ranker serves versioned immutable snapshots:
+// Refresh republishes the hosted slice after the model's entity table
+// moves (a checkpoint hot-reload, an online embedding update), and
+// in-flight scans finish on the snapshot they started with.
+type RangeRanker struct {
+	m      *Model
+	eng    *shard.Engine
+	lo, hi int
+}
+
+// NewRangeRanker builds a range-hosting engine over entities [lo, hi).
+// opts.Shards sub-shards the hosted slice for local scan parallelism
+// (values < 1 mean one local shard). The initial snapshot is published
+// before returning.
+func (m *Model) NewRangeRanker(lo, hi int, opts shard.Options) (*RangeRanker, error) {
+	if n := m.graph.NumEntities(); lo < 0 || hi > n || lo >= hi {
+		return nil, fmt.Errorf("halk: invalid entity range [%d, %d) over %d entities", lo, hi, n)
+	}
+	eng := shard.NewEngine(m.shardParams(), opts)
+	r := &RangeRanker{m: m, eng: eng, lo: lo, hi: hi}
+	if err := r.Refresh(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Refresh publishes a fresh snapshot of the hosted slice if the model's
+// entity version has moved past the engine's current snapshot. Safe to
+// call concurrently with scanning; returns nil without work when
+// already current.
+func (r *RangeRanker) Refresh() error {
+	ver := r.m.EntityVersion()
+	if ver <= r.eng.Version() {
+		return nil
+	}
+	d := r.m.cfg.Dim
+	// Copy the slice under the ranking read-lock so no row is observed
+	// half-written by a concurrent SetEntityAngles, and re-read the
+	// version while still holding it (see ShardedRanker.Refresh).
+	r.m.rankMu.RLock()
+	angles := append([]float64(nil), r.m.ent.Data[r.lo*d:r.hi*d]...)
+	ver = r.m.EntityVersion()
+	r.m.rankMu.RUnlock()
+
+	group := make([]int32, r.hi-r.lo)
+	for e := r.lo; e < r.hi; e++ {
+		group[e-r.lo] = int32(r.m.groups.GroupOf(kg.EntityID(e)))
+	}
+	return r.eng.Swap(shard.Source{Angles: angles, Group: group, Version: ver, Base: r.lo})
+}
+
+// Engine exposes the underlying shard engine (the scan entry point for
+// the node's HTTP frontend).
+func (r *RangeRanker) Engine() *shard.Engine { return r.eng }
+
+// Range reports the hosted global entity ID range [lo, hi).
+func (r *RangeRanker) Range() (lo, hi int) { return r.lo, r.hi }
+
+// Close drains the engine's in-flight scan goroutines.
+func (r *RangeRanker) Close() { r.eng.Close() }
+
+// ShardParams exports the model's scoring constants in the shard
+// engine's form, so a frontend can prepare wire-shipped arcs
+// (shard.PrepareArc) with exactly the constants the local engine scores
+// with.
+func (m *Model) ShardParams() shard.Params { return m.shardParams() }
+
+// EmbedQueryLocked is EmbedQuery under the ranking read-lock: safe to
+// call concurrently with SetEntityAngles and checkpoint hot-reloads.
+// The cluster router and node query frontends embed through it.
+func (m *Model) EmbedQueryLocked(n *query.Node) []ValueArc {
+	m.rankMu.RLock()
+	defer m.rankMu.RUnlock()
+	return m.EmbedQuery(n)
+}

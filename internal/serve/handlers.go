@@ -99,7 +99,10 @@ const (
 	FaultStageRank = "serve.rank"
 )
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON encodes v as the response body with the given status.
+// Exported for the cluster node frontend, which shares the serve
+// stack's response conventions.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
@@ -114,7 +117,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}()
 	fail := func(code int, format string, args ...any) {
 		status = code
-		writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+		WriteJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
 	}
 
 	if r.Method != http.MethodPost {
@@ -268,7 +271,7 @@ func (s *Server) finish(w http.ResponseWriter, resp *queryResponse, tr *obs.Trac
 		resp.Debug = &debugInfo{Trace: tr.Stages(), TotalMs: resp.ElapsedMs}
 	}
 	encStart := time.Now()
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 	tr.Observe(obs.StageEncode, time.Since(encStart))
 	s.metrics.observeTrace(tr)
 	if thr := s.cfg.SlowQuery; thr > 0 && resp.ElapsedMs >= float64(thr)/float64(time.Millisecond) {
@@ -435,13 +438,51 @@ func (s *Server) topK(d []float64, k int) []Answer {
 	return answers
 }
 
+// healthzResponse is the GET /v1/healthz readiness report: enough for a
+// load balancer (or the cluster router's node-discovery loop) to decide
+// whether this process can answer, and at which entity-table version.
+// The cluster scan nodes answer the same shape from their own handler,
+// so one prober serves both kinds of backend.
+type healthzResponse struct {
+	Status   string `json:"status"`
+	Model    string `json:"model"`
+	Entities int    `json:"entities"`
+	// EntityVersion is the version exact answers are currently served
+	// from (the ranker's published snapshot when one is configured, the
+	// live model table otherwise). The router compares it across nodes
+	// to detect checkpoint-rollout skew.
+	EntityVersion uint64 `json:"entity_version"`
+	// Shards is the exact path's scatter width (0 = unsharded full scan).
+	Shards int `json:"shards,omitempty"`
+	// Checkpoint provenance, when the process wired a ckpt.Status.
+	CkptLoaded bool   `json:"ckpt_loaded"`
+	CkptStep   int    `json:"ckpt_step,omitempty"`
+	CkptPath   string `json:"ckpt_path,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"model":    s.cfg.Model.Name(),
-		"entities": s.cfg.Entities.Len(),
-	})
+	resp := healthzResponse{
+		Status:        "ok",
+		Model:         s.cfg.Model.Name(),
+		Entities:      s.cfg.Entities.Len(),
+		EntityVersion: s.answerVersion("exact"),
+	}
+	if s.cfg.Ranker != nil {
+		resp.Shards = s.cfg.Ranker.NumShards()
+	}
+	if s.cfg.Ckpt != nil {
+		snap := s.cfg.Ckpt.Snapshot()
+		resp.CkptLoaded = snap.Path != ""
+		resp.CkptStep = snap.Step
+		resp.CkptPath = snap.Path
+	} else {
+		// No checkpoint lifecycle wired: the model was constructed
+		// in-process (tests, library embedding) and is ready by
+		// definition.
+		resp.CkptLoaded = true
+	}
+	WriteJSON(w, http.StatusOK, resp)
 	s.metrics.observe("/v1/healthz", time.Since(start), false)
 }
 
@@ -493,6 +534,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.gate != nil {
 		resp.Admission = s.gate.snapshot()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 	s.metrics.observe("/v1/stats", time.Since(start), false)
 }

@@ -251,28 +251,41 @@ func (w *committedWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// recoverHandler is the outermost defence line: a panic escaping a
-// handler — including faults injected into the cache layer — is
-// recovered, counted, stack-logged, and answered with a 500 instead of
-// crashing the connection's goroutine (which would kill the process).
-// The 500 body is written only while the response is still pristine: a
-// handler that panicked after committing status or body would otherwise
-// get a superfluous WriteHeader plus error JSON appended to a partial
+// Recover is the serve stack's outermost defence line, exported so the
+// other HTTP frontends (the cluster scan nodes) mount the identical
+// policy: a panic escaping a handler is recovered, counted on panics
+// (nil skips the count), stack-logged on plog (nil means the process
+// default), and answered with a 500 instead of crashing the
+// connection's goroutine (which would kill the process). The 500 body
+// is written only while the response is still pristine: a handler that
+// panicked after committing status or body would otherwise get a
+// superfluous WriteHeader plus error JSON appended to a partial
 // response the client already started reading.
-func (s *Server) recoverHandler(name string, h http.HandlerFunc) http.HandlerFunc {
+func Recover(name string, panics *obs.Counter, plog *log.Logger, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		cw := &committedWriter{ResponseWriter: w}
 		defer func() {
 			if v := recover(); v != nil {
-				s.metrics.handlerPanics.Inc()
-				s.cfg.PanicLog.Printf("serve: recovered panic in %s handler: %v\n%s", name, v, debug.Stack())
+				if panics != nil {
+					panics.Inc()
+				}
+				logger := plog
+				if logger == nil {
+					logger = log.Default()
+				}
+				logger.Printf("serve: recovered panic in %s handler: %v\n%s", name, v, debug.Stack())
 				if !cw.committed {
-					writeJSON(cw, http.StatusInternalServerError, errorResponse{Error: "internal server error"})
+					WriteJSON(cw, http.StatusInternalServerError, errorResponse{Error: "internal server error"})
 				}
 			}
 		}()
 		h(cw, r)
 	}
+}
+
+// recoverHandler wires Recover with the server's panic counter and log.
+func (s *Server) recoverHandler(name string, h http.HandlerFunc) http.HandlerFunc {
+	return Recover(name, s.metrics.handlerPanics, s.cfg.PanicLog, h)
 }
 
 // Metrics returns the registry the server's counters live on — the one

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"runtime/debug"
 	"strconv"
 	"sync"
@@ -175,6 +176,18 @@ func (e *Engine) getHeap(i, k int) *topK {
 // NumShards reports the shard count.
 func (e *Engine) NumShards() int { return e.n }
 
+// EntityRange reports the contiguous global entity ID range [lo, hi)
+// the published snapshot covers — [0, numEntities) for a single-process
+// engine, the hosted slice for a cluster node built with Source.Base.
+// Before the first Swap both bounds are 0.
+func (e *Engine) EntityRange() (lo, hi int) {
+	snap := e.snap.Load()
+	if snap == nil || len(snap.shards) == 0 {
+		return 0, 0
+	}
+	return snap.shards[0].lo, snap.shards[len(snap.shards)-1].hi
+}
+
 // Version reports the published snapshot's version (0 before the first
 // Swap).
 func (e *Engine) Version() uint64 {
@@ -248,7 +261,19 @@ type localTopK struct {
 // Scans poll ctx; a cancelled query returns ctx.Err(). Shards that miss
 // Options.ShardTimeout are skipped and the result is marked Partial.
 func (e *Engine) TopK(ctx context.Context, arcs []Arc, k int) (*Result, error) {
-	return e.run(ctx, arcs, k, false)
+	return e.run(ctx, arcs, k, false, math.Inf(1))
+}
+
+// TopKBound is TopK with the shared pruning bound seeded from outside:
+// bound must be a true upper bound on the global k-th best distance
+// (for example another node's k-th best in a scatter-gather cluster),
+// and shards prune against it from the first scored entity instead of
+// waiting for a local heap to fill. A bound <= 0 or +Inf seeds nothing.
+// Seeding never changes which entities can win — it only skips entities
+// that provably cannot enter the global top-K — so the merged result is
+// identical to an unseeded scan whenever the bound is valid.
+func (e *Engine) TopKBound(ctx context.Context, arcs []Arc, k int, bound float64) (*Result, error) {
+	return e.run(ctx, arcs, k, false, bound)
 }
 
 // TopKApprox is the ANN-pruned variant: each shard probes its bucket
@@ -258,7 +283,7 @@ func (e *Engine) TopKApprox(ctx context.Context, arcs []Arc, k int) (*Result, er
 	if e.annCfg == nil {
 		return nil, fmt.Errorf("shard: TopKApprox requires Options.ANN")
 	}
-	return e.run(ctx, arcs, k, true)
+	return e.run(ctx, arcs, k, true, math.Inf(1))
 }
 
 // PoolSize reports how many candidates the per-shard ANN indexes would
@@ -279,7 +304,7 @@ func (e *Engine) PoolSize(arcs []Arc) int {
 	return total
 }
 
-func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool) (*Result, error) {
+func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool, bound float64) (*Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("shard: k must be positive, got %d", k)
 	}
@@ -294,8 +319,12 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool) (*Resu
 	// gbound is the shared pruning bound: the smallest full-heap root any
 	// shard has published so far. Any shard's local k-th best is an upper
 	// bound on the global k-th best, so every shard may prune against it.
+	// A caller-supplied bound (TopKBound) seeds it before the first scan.
 	var gbound atomicBound
 	gbound.init()
+	if bound > 0 && !math.IsInf(bound, 1) {
+		gbound.update(bound)
+	}
 
 	tr := obs.FromContext(ctx)
 	locals := make([]localTopK, len(snap.shards))

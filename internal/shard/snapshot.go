@@ -12,10 +12,18 @@ import (
 // row-major entity angle table, the group assignment per entity (ignored
 // when Params.Xi is 0), and the monotonic version identifying this state
 // of the embeddings.
+//
+// Base shifts the global entity IDs the snapshot reports: row i of
+// Angles is entity Base+i. A single-process engine leaves it 0 (the
+// table covers every entity); a cluster node hosting the contiguous
+// range [lo, hi) slices its rows out of the full table and sets
+// Base = lo, so the local scan emits globally valid IDs that merge
+// directly with other nodes' results.
 type Source struct {
 	Angles  []float64
 	Group   []int32
 	Version uint64
+	Base    int
 }
 
 // snapshot is one immutable published version of the sharded entity
@@ -45,6 +53,9 @@ func buildSnapshot(p Params, n int, src Source, annCfg *ann.Config) (*snapshot, 
 	if p.Dim <= 0 {
 		return nil, fmt.Errorf("shard: Dim must be positive")
 	}
+	if src.Base < 0 {
+		return nil, fmt.Errorf("shard: Base must be non-negative, got %d", src.Base)
+	}
 	if len(src.Angles)%p.Dim != 0 {
 		return nil, fmt.Errorf("shard: angle table length %d is not a multiple of dim %d", len(src.Angles), p.Dim)
 	}
@@ -57,10 +68,10 @@ func buildSnapshot(p Params, n int, src Source, annCfg *ann.Config) (*snapshot, 
 		numEntities: ents,
 		shards:      make([]shardData, n),
 	}
-	base, rem := ents/n, ents%n
-	lo := 0
+	per, rem := ents/n, ents%n
+	lo := src.Base
 	for i := range snap.shards {
-		size := base
+		size := per
 		if i < rem {
 			size++
 		}
@@ -71,13 +82,14 @@ func buildSnapshot(p Params, n int, src Source, annCfg *ann.Config) (*snapshot, 
 			cos: make([]float64, size*p.Dim),
 			sin: make([]float64, size*p.Dim),
 		}
-		angles := src.Angles[lo*p.Dim : hi*p.Dim]
+		// src rows are indexed from Base: row 0 is entity Base.
+		angles := src.Angles[(lo-src.Base)*p.Dim : (hi-src.Base)*p.Dim]
 		for j, a := range angles {
 			sd.cos[j] = math.Cos(a)
 			sd.sin[j] = math.Sin(a)
 		}
 		if p.Xi > 0 {
-			sd.group = src.Group[lo:hi]
+			sd.group = src.Group[lo-src.Base : hi-src.Base]
 		}
 		if annCfg != nil && size > 0 {
 			cfg := *annCfg
