@@ -51,6 +51,7 @@ import (
 	"github.com/halk-kg/halk/internal/ckpt"
 	"github.com/halk-kg/halk/internal/cluster"
 	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/ingest"
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/query"
@@ -175,6 +176,11 @@ func main() {
 		maxQueueWait = flag.Duration("max-queue-wait", 0, "admission control: shed requests with 429 when the expected worker-queue wait exceeds min(this, the request deadline) (0 disables)")
 		ckptRetries  = flag.Int("ckpt-retries", 3, "checkpoint-load attempts before giving up (full-jitter exponential backoff between attempts; corrupt/mismatched files fail immediately)")
 		ckptWatch    = flag.Duration("ckpt-watch", 0, "poll the -ckpt path this often and hot-reload newer checkpoints into the running server (0 disables)")
+
+		ingestOn    = flag.Bool("ingest", false, "enable POST /v1/edges: accepted edge batches are WAL-logged, fine-tuned into the model in the background, and published as delta snapshots")
+		ingestDir   = flag.String("ingest-dir", "ingest-wal", "write-ahead-log directory for -ingest (replayed on startup)")
+		ingestBatch = flag.Int("ingest-batch", 64, "edges folded into one fine-tune micro-batch")
+		ingestEvery = flag.Duration("ingest-every", 100*time.Millisecond, "ingest drain poll period (a write also wakes the drainer immediately)")
 	)
 	flag.Parse()
 
@@ -325,9 +331,69 @@ func main() {
 			log.Fatal("-hedge-delay and -breaker require -shards > 0 or -cluster")
 		}
 	}
-	srv, err := serve.New(cfg)
+
+	// Live-edge ingest: POST /v1/edges batches are WAL-logged, fine-tuned
+	// into the local model by a background drainer, and published as
+	// delta snapshots through the same swap machinery hot-reload uses.
+	var srv *serve.Server
+	var ing *ingest.Ingester
+	if *ingestOn {
+		if len(remotes) > 0 {
+			log.Fatal("-ingest requires the local model to own the embeddings; it is incompatible with -cluster router mode")
+		}
+		wal, err := ingest.OpenWAL(*ingestDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if q := wal.Quarantined(); q > 0 {
+			log.Printf("ingest: quarantined %d corrupt WAL file(s) in %s (renamed *.bad)", q, *ingestDir)
+		}
+		ing, err = ingest.New(ingest.Config{
+			Model:     m,
+			WAL:       wal,
+			BatchSize: *ingestBatch,
+			Interval:  *ingestEvery,
+			FineTune:  halk.FineTuneConfig{Seed: hdr.Seed},
+			Metrics:   reg,
+			Logf:      log.Printf,
+			// Publish pushes the fine-tuned rows into whatever the exact
+			// path answers from: the sharded engine rebuilds only the
+			// shards owning dirty entities; the ANN index (which snapshots
+			// embeddings at build time) is rebuilt and swapped. The
+			// unsharded full scan reads the live table and needs nothing.
+			Publish: func(dirty []kg.EntityID) error {
+				if ranker != nil {
+					if err := ranker.RefreshDirty(dirty); err != nil {
+						return err
+					}
+				}
+				if *approx && srv != nil {
+					srv.SetApprox(m.NewAnswerIndex(ann.DefaultConfig(hdr.Seed)))
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Edges = ing
+	}
+	srv, err = serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ing != nil {
+		// Catch up on edges logged before the last shutdown (or crash)
+		// synchronously, so the first served answer already reflects every
+		// durably accepted write, then launch the background drainer.
+		if n := ing.Stats().PendingSegments; n > 0 {
+			log.Printf("ingest: replaying %d pending WAL segment(s) from %s", n, *ingestDir)
+		}
+		if err := ing.Replay(); err != nil {
+			log.Fatalf("ingest: WAL replay: %v", err)
+		}
+		ing.Start()
+		log.Printf("ingest enabled: POST /v1/edges (wal=%s, batch=%d, drain every %v)", *ingestDir, *ingestBatch, *ingestEvery)
 	}
 
 	if *pprofAt != "" {
@@ -423,6 +489,12 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
+	}
+	if ing != nil {
+		// Drain the ingest loop after the listener stops admitting writes:
+		// Close applies what it can, and anything still pending is durable
+		// in the WAL and replayed on the next start.
+		ing.Close()
 	}
 	srv.Close()
 	log.Print("drained; bye")

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/ingest"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+// sampleNonEdges draws n triples absent from the graph whose head has
+// at least one successor under the drawn relation, so each write is a
+// genuine graph mutation with a meaningful fine-tune signal.
+func sampleNonEdges(g *kg.Graph, n int, rng *rand.Rand) []ingest.Record {
+	recs := make([]ingest.Record, 0, n)
+	numEnt := kg.EntityID(g.NumEntities())
+	for len(recs) < n {
+		h := kg.EntityID(rng.Intn(int(numEnt)))
+		r := kg.RelationID(rng.Intn(g.NumRelations()))
+		succ := g.Successors(h, r)
+		if len(succ) == 0 {
+			continue
+		}
+		t := kg.EntityID(rng.Intn(int(numEnt)))
+		present := t == h
+		for _, s := range succ {
+			if s == t {
+				present = true
+				break
+			}
+		}
+		if present {
+			continue
+		}
+		recs = append(recs, ingest.Record{Op: ingest.OpAdd, H: h, R: r, T: t})
+	}
+	return recs
+}
+
+// IngestMix measures serving under a mixed read+write load: exact
+// sharded top-10 latency over the 2i workload, first read-only, then
+// with a live ingester fine-tuning streamed edges and publishing delta
+// snapshots into the same engine. It reports the read-latency cost of
+// concurrent writes plus the write-side throughput (edges applied,
+// delta publishes) observed during the mixed phase.
+func (s *Suite) IngestMix() *Table {
+	const k = 10
+	ds := s.Dataset("FB237")
+	m, _ := s.Model(ds, "HaLk")
+	hk := m.(*halk.Model)
+	w := s.Workload(ds, "2i")
+
+	nShards := s.cfg.Shards
+	if nShards <= 0 {
+		nShards = min(4, runtime.GOMAXPROCS(0))
+	}
+	t := &Table{
+		ID: "IngestMix",
+		Title: fmt.Sprintf("Mixed read+write serving (%s, 2i reads, shards=%d, %d queries/phase)",
+			ds.Name, nShards, len(w)),
+		Header: []string{"Phase", "µs/read", "Read slowdown", "Edges applied", "Delta publishes"},
+	}
+
+	ranker, err := hk.NewShardedRanker(shard.Options{Shards: nShards})
+	if err != nil {
+		s.logf("ingestmix: %v", err)
+		return t
+	}
+	ctx := context.Background()
+	readPass := func() (time.Duration, bool) {
+		start := time.Now()
+		for i := range w {
+			if _, err := ranker.RankTopK(ctx, w[i].Root, k); err != nil {
+				s.logf("ingestmix: read: %v", err)
+				return 0, false
+			}
+		}
+		return time.Since(start), true
+	}
+	if _, ok := readPass(); !ok { // warm trig caches and the snapshot
+		return t
+	}
+
+	// Phase 1: read-only baseline.
+	base, ok := readPass()
+	if !ok {
+		return t
+	}
+	perBase := float64(base.Microseconds()) / float64(len(w))
+	t.Rows = append(t.Rows, []string{"read-only", fmt.Sprintf("%.0f", perBase), "1.00x", "-", "-"})
+
+	// Phase 2: the same read pass while an ingester drains a stream of
+	// edge batches — fine-tune steps under the write side of the ranking
+	// lock, delta publishes swapping dirty shards into the engine.
+	dir, err := os.MkdirTemp("", "halk-ingestmix-*")
+	if err != nil {
+		s.logf("ingestmix: %v", err)
+		return t
+	}
+	defer os.RemoveAll(dir)
+	wal, err := ingest.OpenWAL(dir)
+	if err != nil {
+		s.logf("ingestmix: %v", err)
+		return t
+	}
+	in, err := ingest.New(ingest.Config{
+		Model:    hk,
+		WAL:      wal,
+		Interval: time.Millisecond,
+		FineTune: halk.FineTuneConfig{Seed: s.cfg.Seed + 1},
+		Publish:  ranker.RefreshDirty,
+		Logf:     s.logf,
+	})
+	if err != nil {
+		s.logf("ingestmix: %v", err)
+		return t
+	}
+	in.Start()
+
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 2))
+	writes := sampleNonEdges(ds.Train, 8*len(w), rng)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		const batch = 4
+		for off := 0; off+batch <= len(writes); off += batch {
+			if _, err := in.Submit(writes[off : off+batch]); err != nil {
+				s.logf("ingestmix: submit: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Read continuously until every write batch is submitted (each WAL
+	// append fsyncs, so the writer outlives several read passes), then
+	// one final pass so the tail of the write stream overlaps reads too.
+	var mixed time.Duration
+	var mixedReads int
+	for writing := true; writing; {
+		select {
+		case <-writerDone:
+			writing = false
+		default:
+		}
+		d, ok := readPass()
+		if !ok {
+			in.Close()
+			return t
+		}
+		mixed += d
+		mixedReads += len(w)
+	}
+	in.Close() // final drain: every durable batch is applied
+	st := in.Stats()
+	perMixed := float64(mixed.Microseconds()) / float64(mixedReads)
+	t.Rows = append(t.Rows, []string{
+		"mixed", fmt.Sprintf("%.0f", perMixed),
+		fmt.Sprintf("%.2fx", perMixed/perBase),
+		fmt.Sprintf("%d", st.AppliedEdges),
+		fmt.Sprintf("%d", st.Publishes),
+	})
+	return t
+}

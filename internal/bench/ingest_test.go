@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestIngestMixExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	s := quickSuite(t)
+	tbl := s.IngestMix()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("IngestMix rows = %d, want 2 (read-only + mixed): %v", len(tbl.Rows), tbl.Rows)
+	}
+	if tbl.Rows[0][0] != "read-only" || tbl.Rows[1][0] != "mixed" {
+		t.Fatalf("unexpected phases: %v", tbl.Rows)
+	}
+	applied, err := strconv.Atoi(tbl.Rows[1][3])
+	if err != nil || applied == 0 {
+		t.Fatalf("mixed phase applied no edges: %v", tbl.Rows[1])
+	}
+}

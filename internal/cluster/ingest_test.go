@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/ingest"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+// TestClusterDeltaRollout is the ISSUE acceptance test (part c): a live
+// edge ingested through the WAL + fine-tune pipeline propagates to a
+// 3-node loopback cluster as a delta publication, and the router's
+// quorum rollout machinery handles it exactly like a checkpoint reload:
+// the served version (the cache namespace) holds until a quorum of
+// nodes publish the delta, mixed-version answers are marked partial,
+// and the completed rollout serves answers byte-identical to a full
+// rebuild over the fine-tuned table.
+func TestClusterDeltaRollout(t *testing.T) {
+	m, ds := testModel(61)
+	nodes := startTopology(t, m, ds, 3, nil)
+	rt := newTestRouter(t, m, nodes, nil)
+
+	// The ingester drives the shared model; its Publish fans the dirty
+	// set out to whichever nodes the test has staged for the rollout.
+	var lastDirty []kg.EntityID
+	wal, err := ingest.OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ingest.New(ingest.Config{
+		Model:    m,
+		WAL:      wal,
+		FineTune: halk.FineTuneConfig{Seed: 7},
+		Publish: func(dirty []kg.EntityID) error {
+			// Stage 1 of the rollout: only node 0 receives the delta; the
+			// test completes the rollout node by node below.
+			lastDirty = append([]kg.EntityID(nil), dirty...)
+			return nodes[0].ranker.RefreshDirty(dirty)
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	v0 := m.EntityVersion()
+	if got := rt.SnapshotVersion(); got != v0 {
+		t.Fatalf("initial served version = %d, want %d", got, v0)
+	}
+	s := query.NewSampler(ds.Test, rand.New(rand.NewSource(62)))
+	q, ok := s.Sample("1p")
+	if !ok {
+		t.Fatal("sampling 1p failed")
+	}
+
+	// Find a triple absent from the graph and stream it in through the
+	// ingest pipeline (durable WAL append + synchronous drain).
+	g := m.Graph()
+	var rec ingest.Record
+	found := false
+	for h := kg.EntityID(0); h < kg.EntityID(g.NumEntities()) && !found; h++ {
+		for ri := 0; ri < g.NumRelations() && !found; ri++ {
+			r := kg.RelationID(ri)
+			succ := g.Successors(h, r)
+			if len(succ) == 0 {
+				continue
+			}
+			have := make(map[kg.EntityID]struct{}, len(succ))
+			for _, e := range succ {
+				have[e] = struct{}{}
+			}
+			for cand := kg.EntityID(0); cand < kg.EntityID(g.NumEntities()); cand++ {
+				if _, ok := have[cand]; !ok && cand != h {
+					rec = ingest.Record{Op: ingest.OpAdd, H: h, R: r, T: cand}
+					found = true
+					break
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no non-edge found")
+	}
+	if _, err := in.Submit([]ingest.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Replay(); err != nil { // synchronous drain: apply + publish to node 0
+		t.Fatal(err)
+	}
+	v1 := m.EntityVersion()
+	if v1 == v0 {
+		t.Fatal("fine-tune did not bump the entity version")
+	}
+	if len(lastDirty) == 0 {
+		t.Fatal("publish saw an empty dirty set")
+	}
+	if got := nodes[0].ranker.Engine().Version(); got != v1 {
+		t.Fatalf("node 0 engine version = %d, want %d after delta publish", got, v1)
+	}
+
+	// 1/3 nodes on the new version: the served version (and with it the
+	// version-namespaced cache key space) must hold at v0 — no answer is
+	// ever cached under the new version before quorum.
+	rt.CheckHealth(context.Background())
+	if got := rt.SnapshotVersion(); got != v0 {
+		t.Fatalf("served version flipped at 1/3 nodes: %d, want %d", got, v0)
+	}
+	res, err := rt.RankTopK(context.Background(), q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("mixed-version answer not marked partial (would be cacheable while stale)")
+	}
+
+	// Stage 2: the delta reaches node 1 — quorum. The served version
+	// flips, precisely invalidating every v0-keyed cache entry.
+	if err := nodes[1].ranker.RefreshDirty(lastDirty); err != nil {
+		t.Fatal(err)
+	}
+	rt.CheckHealth(context.Background())
+	if got := rt.SnapshotVersion(); got != v1 {
+		t.Fatalf("served version after quorum = %d, want %d", got, v1)
+	}
+
+	// Stage 3: rollout completes; answers are whole and byte-identical
+	// to a freshly built (non-delta) engine over the fine-tuned table.
+	if err := nodes[2].ranker.RefreshDirty(lastDirty); err != nil {
+		t.Fatal(err)
+	}
+	rt.CheckHealth(context.Background())
+
+	ref, err := m.NewShardedRanker(shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err = rt.RankTopK(context.Background(), q, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Partial || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if res.Partial {
+		t.Fatal("post-rollout answer still partial")
+	}
+	if res.Version != v1 {
+		t.Fatalf("post-rollout result version = %d, want %d", res.Version, v1)
+	}
+	want, err := ref.RankTopK(context.Background(), q, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != len(want.IDs) {
+		t.Fatalf("got %d answers, want %d", len(res.IDs), len(want.IDs))
+	}
+	for i := range want.IDs {
+		if res.IDs[i] != want.IDs[i] {
+			t.Fatalf("answer %d: id %d, want %d", i, res.IDs[i], want.IDs[i])
+		}
+		if math.Float64bits(res.Dists[i]) != math.Float64bits(want.Dists[i]) {
+			t.Fatalf("answer %d: delta-published dist %x, full-rebuild dist %x (not byte-identical)",
+				i, math.Float64bits(res.Dists[i]), math.Float64bits(want.Dists[i]))
+		}
+	}
+}

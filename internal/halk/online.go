@@ -43,16 +43,68 @@ func (m *Model) TopKContext(ctx context.Context, n *query.Node, k int) ([]kg.Ent
 // finished, installs the new row, and lets subsequent rankings rebuild
 // the trig cache from the updated table. An AnswerIndex built before the
 // update keeps its snapshot; rebuild it to re-sync the candidate buckets.
+//
+// Concurrent rank visibility contract: the row write and the
+// entity-version bump happen in the same rankMu critical section, and
+// every ranking reads the version while holding the read side (the trig
+// cache fingerprints its tables with the version it read under RLock).
+// Therefore a ranking either ran entirely before the update (old row,
+// old version) or entirely after (new row, new version) — it can never
+// pair the new version with the old row or vice versa. Because cache
+// keys are namespaced by version, a cached answer is never served
+// across the bump: post-update requests carry the new version in their
+// key and cannot hit entries computed from the old table. Callers
+// updating many rows should use SetEntityAnglesBatch — one critical
+// section and one version bump for the whole batch, so readers never
+// observe a partially-updated table and downstream snapshot/ANN
+// rebuilds are triggered once, not per row.
 func (m *Model) SetEntityAngles(e kg.EntityID, angles []float64) error {
+	if err := m.checkEntityAngles(e, angles); err != nil {
+		return err
+	}
+	m.rankMu.Lock()
+	copy(m.ent.Row(int(e)), angles)
+	m.entVersion.Add(1)
+	m.rankMu.Unlock()
+	return nil
+}
+
+// EntityUpdate pairs an entity with its replacement angle vector.
+type EntityUpdate struct {
+	E      kg.EntityID
+	Angles []float64
+}
+
+// SetEntityAnglesBatch atomically replaces the point embeddings of many
+// entities with a single version bump. All updates are validated before
+// any row is written, so the call either applies the whole batch or
+// nothing. Rankings serialized against the batch observe either the
+// entire old table or the entire new one — never a mix — under the same
+// visibility contract as SetEntityAngles.
+func (m *Model) SetEntityAnglesBatch(updates []EntityUpdate) error {
+	for _, u := range updates {
+		if err := m.checkEntityAngles(u.E, u.Angles); err != nil {
+			return err
+		}
+	}
+	if len(updates) == 0 {
+		return nil
+	}
+	m.rankMu.Lock()
+	for _, u := range updates {
+		copy(m.ent.Row(int(u.E)), u.Angles)
+	}
+	m.entVersion.Add(1)
+	m.rankMu.Unlock()
+	return nil
+}
+
+func (m *Model) checkEntityAngles(e kg.EntityID, angles []float64) error {
 	if len(angles) != m.cfg.Dim {
 		return fmt.Errorf("halk: SetEntityAngles: got %d angles, model dim is %d", len(angles), m.cfg.Dim)
 	}
 	if int(e) < 0 || int(e) >= m.graph.NumEntities() {
 		return fmt.Errorf("halk: SetEntityAngles: entity %d out of range [0, %d)", e, m.graph.NumEntities())
 	}
-	m.rankMu.Lock()
-	copy(m.ent.Row(int(e)), angles)
-	m.entVersion.Add(1)
-	m.rankMu.Unlock()
 	return nil
 }

@@ -48,6 +48,26 @@ func (m *Model) NewRangeRanker(lo, hi int, opts shard.Options) (*RangeRanker, er
 // call concurrently with scanning; returns nil without work when
 // already current.
 func (r *RangeRanker) Refresh() error {
+	return r.refresh(nil)
+}
+
+// RefreshDirty is Refresh with the delta-swap fast path: dirty lists
+// every entity (by global ID) whose row changed since the last
+// published snapshot, and the engine rebuilds only the local sub-shards
+// containing one — dirty entities outside the hosted range leave every
+// sub-shard shared. This is how ingest delta publication propagates
+// through the multi-node path unchanged: each node folds the same dirty
+// set against its own slice. Same contract as
+// ShardedRanker.RefreshDirty.
+func (r *RangeRanker) RefreshDirty(dirty []kg.EntityID) error {
+	d := make([]int32, len(dirty))
+	for i, e := range dirty {
+		d[i] = int32(e)
+	}
+	return r.refresh(d)
+}
+
+func (r *RangeRanker) refresh(dirty []int32) error {
 	ver := r.m.EntityVersion()
 	if ver <= r.eng.Version() {
 		return nil
@@ -58,14 +78,20 @@ func (r *RangeRanker) Refresh() error {
 	// version while still holding it (see ShardedRanker.Refresh).
 	r.m.rankMu.RLock()
 	angles := append([]float64(nil), r.m.ent.Data[r.lo*d:r.hi*d]...)
-	ver = r.m.EntityVersion()
+	newVer := r.m.EntityVersion()
+	if dirty != nil && newVer != ver {
+		// A racing update's rows are in the copy but not in the caller's
+		// dirty set; fall back to a full rebuild for this publish.
+		dirty = nil
+	}
+	ver = newVer
 	r.m.rankMu.RUnlock()
 
 	group := make([]int32, r.hi-r.lo)
 	for e := r.lo; e < r.hi; e++ {
 		group[e-r.lo] = int32(r.m.groups.GroupOf(kg.EntityID(e)))
 	}
-	return r.eng.Swap(shard.Source{Angles: angles, Group: group, Version: ver, Base: r.lo})
+	return r.eng.Swap(shard.Source{Angles: angles, Group: group, Version: ver, Base: r.lo, Dirty: dirty})
 }
 
 // Engine exposes the underlying shard engine (the scan entry point for

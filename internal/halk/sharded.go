@@ -44,6 +44,27 @@ func (m *Model) NewShardedRanker(opts shard.Options) (*ShardedRanker, error) {
 // concurrently with ranking: in-flight queries finish on the snapshot
 // they started with. Returns nil without work when already current.
 func (r *ShardedRanker) Refresh() error {
+	return r.refresh(nil)
+}
+
+// RefreshDirty is Refresh with the delta-swap fast path: dirty lists
+// every entity whose row changed since the last published snapshot (for
+// example FineTuneResult.DirtyEntities), and the engine rebuilds only
+// the shards containing one, sharing the rest with the previous
+// snapshot. The published result is byte-identical to a full Refresh —
+// the savings are build cost (trig tables + ANN index only for touched
+// shards), not served answers. An empty dirty set still republishes the
+// new version. The dirty contract is the caller's: an entity whose row
+// changed but is not listed would be served from a stale shard.
+func (r *ShardedRanker) RefreshDirty(dirty []kg.EntityID) error {
+	d := make([]int32, len(dirty))
+	for i, e := range dirty {
+		d[i] = int32(e)
+	}
+	return r.refresh(d)
+}
+
+func (r *ShardedRanker) refresh(dirty []int32) error {
 	ver := r.m.EntityVersion()
 	if ver <= r.eng.Version() {
 		return nil
@@ -56,7 +77,15 @@ func (r *ShardedRanker) Refresh() error {
 	// raced in between the first load and the lock, the copy may already
 	// contain it — stamping the later version is correct either way
 	// because the copy is at least as new as `ver`.
-	ver = r.m.EntityVersion()
+	newVer := r.m.EntityVersion()
+	if dirty != nil && newVer != ver {
+		// An update raced in between the version load and the copy; its
+		// touched rows are in the copy but not in the caller's dirty set,
+		// so the delta contract no longer holds. Fall back to a full
+		// rebuild for this publish.
+		dirty = nil
+	}
+	ver = newVer
 	r.m.rankMu.RUnlock()
 
 	n := r.m.graph.NumEntities()
@@ -64,7 +93,7 @@ func (r *ShardedRanker) Refresh() error {
 	for e := 0; e < n; e++ {
 		group[e] = int32(r.m.groups.GroupOf(kg.EntityID(e)))
 	}
-	return r.eng.Swap(shard.Source{Angles: angles, Group: group, Version: ver})
+	return r.eng.Swap(shard.Source{Angles: angles, Group: group, Version: ver, Dirty: dirty})
 }
 
 // RankTopK embeds the query and ranks the k best answers through the

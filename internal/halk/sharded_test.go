@@ -2,9 +2,11 @@ package halk
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"testing"
 
+	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/query"
 	"github.com/halk-kg/halk/internal/shard"
 )
@@ -121,5 +123,63 @@ func TestShardedRankerRefresh(t *testing.T) {
 	}
 	if r.SnapshotVersion() != v1 {
 		t.Fatal("Refresh without entity updates rebuilt the snapshot")
+	}
+}
+
+// TestShardedRankerRefreshDirty asserts a delta publish driven by a
+// fine-tune dirty set converges to exactly the same ranking as a full
+// rebuild, with bit-identical distances.
+func TestShardedRankerRefreshDirty(t *testing.T) {
+	m, ds := testModel(t, 65)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(66)))
+	q, ok := s.Sample("2i")
+	if !ok {
+		t.Fatal("sampling failed")
+	}
+	r, err := m.NewShardedRanker(shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatalf("NewShardedRanker: %v", err)
+	}
+	defer r.Close()
+	v0 := r.SnapshotVersion()
+
+	edge := pickNonEdge(t, m.Graph(), 9)
+	res, err := m.FineTuneEdges([]kg.Triple{edge}, nil, FineTuneConfig{Seed: 5})
+	if err != nil {
+		t.Fatalf("FineTuneEdges: %v", err)
+	}
+	if len(res.DirtyEntities) == 0 {
+		t.Fatal("fine-tune touched no entities")
+	}
+	if err := r.RefreshDirty(res.DirtyEntities); err != nil {
+		t.Fatalf("RefreshDirty: %v", err)
+	}
+	if r.SnapshotVersion() <= v0 {
+		t.Fatalf("RefreshDirty did not advance snapshot version past %d", v0)
+	}
+
+	const k = 10
+	want := m.TopK(q, k)
+	got, err := r.RankTopK(context.Background(), q, k)
+	if err != nil {
+		t.Fatalf("RankTopK: %v", err)
+	}
+	dist := m.Distances(q)
+	for i := range want {
+		if got.IDs[i] != want[i] {
+			t.Fatalf("answer %d = %d, want %d", i, got.IDs[i], want[i])
+		}
+		if math.Float64bits(got.Dists[i]) != math.Float64bits(dist[want[i]]) {
+			t.Fatalf("dist[%d] = %v, want bit-identical %v", i, got.Dists[i], dist[want[i]])
+		}
+	}
+
+	// A second delta publish with no version bump is a no-op.
+	v1 := r.SnapshotVersion()
+	if err := r.RefreshDirty(res.DirtyEntities); err != nil {
+		t.Fatalf("idempotent RefreshDirty: %v", err)
+	}
+	if r.SnapshotVersion() != v1 {
+		t.Fatal("RefreshDirty without entity updates rebuilt the snapshot")
 	}
 }

@@ -1,0 +1,111 @@
+package ingest
+
+import (
+	"testing"
+
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+// BenchmarkIngestApply measures the write-side hot path: one WAL
+// segment (16 edges) durably appended, loaded, folded into the graph
+// and fine-tuned into the embeddings with the deterministic dirty-set
+// SGD step.
+func BenchmarkIngestApply(b *testing.B) {
+	m := benchModel(b, 61)
+	wal, err := OpenWAL(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := New(Config{Model: m, WAL: wal, FineTune: halk.FineTuneConfig{Seed: 9}, Logf: b.Logf})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer in.Close()
+	recs := benchNonEdges(b, m.Graph(), 16, 5)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate add/remove of the same batch so the graph stays
+		// bounded and every edge is a real mutation with a fine-tune step.
+		for j := range recs {
+			if i%2 == 0 {
+				recs[j].Op = OpAdd
+			} else {
+				recs[j].Op = OpRemove
+			}
+		}
+		if _, err := in.Submit(recs); err != nil {
+			b.Fatal(err)
+		}
+		if err := in.Replay(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestPublish measures the read-side cost of a delta
+// publication: rebuilding only the shards owning dirty entities and
+// swapping the snapshot into a live 4-shard engine.
+func BenchmarkIngestPublish(b *testing.B) {
+	m := benchModel(b, 61)
+	ranker, err := m.NewShardedRanker(shard.Options{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ranker.Close()
+	recs := benchNonEdges(b, m.Graph(), 4, 5)
+	triples := make([]kg.Triple, len(recs))
+	for i, r := range recs {
+		triples[i] = r.Triple()
+	}
+	res, err := m.FineTuneEdges(triples, nil, halk.FineTuneConfig{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MarkEntitiesUpdated() // a publish is only triggered by a version bump
+		if err := ranker.RefreshDirty(res.DirtyEntities); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchModel(b *testing.B, seed int64) *halk.Model {
+	b.Helper()
+	ds := kg.SynthFB237(seed)
+	cfg := halk.DefaultConfig(seed)
+	cfg.Dim, cfg.Hidden, cfg.NumGroups = 8, 16, 4
+	return halk.New(ds.Train, cfg)
+}
+
+func benchNonEdges(b *testing.B, g *kg.Graph, n int, seed int64) []Record {
+	b.Helper()
+	recs := make([]Record, 0, n)
+	for h := kg.EntityID(0); h < kg.EntityID(g.NumEntities()) && len(recs) < n; h++ {
+		for ri := 0; ri < g.NumRelations() && len(recs) < n; ri++ {
+			r := kg.RelationID(ri)
+			succ := g.Successors(h, r)
+			if len(succ) == 0 {
+				continue
+			}
+			have := make(map[kg.EntityID]struct{}, len(succ))
+			for _, e := range succ {
+				have[e] = struct{}{}
+			}
+			for cand := kg.EntityID(0); cand < kg.EntityID(g.NumEntities()); cand++ {
+				if _, ok := have[cand]; !ok && cand != h {
+					recs = append(recs, Record{Op: OpAdd, H: h, R: r, T: cand})
+					break
+				}
+			}
+		}
+	}
+	if len(recs) < n {
+		b.Fatalf("found %d non-edges, want %d", len(recs), n)
+	}
+	return recs
+}

@@ -1,0 +1,473 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/obs"
+	"github.com/halk-kg/halk/internal/resil"
+)
+
+// ErrBacklog is returned by Submit when the WAL backlog exceeds
+// Config.MaxPending: the fine-tune drainer is not keeping up, and
+// admitting more writes would grow the log without bound. Serve maps it
+// to 429.
+var ErrBacklog = errors.New("ingest: write backlog full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("ingest: closed")
+
+// Fault-injection stage names for the resil.Injector seams, fired in
+// pipeline order: before the WAL append, before a segment's
+// graph+fine-tune apply, and before the delta publish.
+const (
+	FaultStageAppend  = "ingest.wal.append"
+	FaultStageApply   = "ingest.apply"
+	FaultStagePublish = "ingest.publish"
+)
+
+// Config wires an Ingester.
+type Config struct {
+	// Model is the live model the drainer fine-tunes. The ingester is the
+	// only goroutine that mutates Model.Graph() — serving reads only
+	// dictionaries and immutable snapshots.
+	Model *halk.Model
+	// WAL is the durable edge log (OpenWAL).
+	WAL *WAL
+	// BatchSize caps the records folded into one fine-tune step; larger
+	// segments are split. 0 means 64.
+	BatchSize int
+	// Interval is the drain poll period; a Submit also wakes the drainer
+	// immediately. 0 means 100ms.
+	Interval time.Duration
+	// MaxPending bounds the WAL backlog before Submit sheds with
+	// ErrBacklog. 0 means 256 segments.
+	MaxPending int
+	// FineTune configures the per-batch SGD step. Its Seed is the base
+	// seed: batch b of segment s steps with Seed + s*1e6 + b, so replay
+	// is deterministic regardless of batch boundaries staying stable.
+	FineTune halk.FineTuneConfig
+	// Publish pushes a fine-tuned table to the serving snapshot(s): the
+	// dirty set accumulated since the last successful publish (sorted,
+	// deduplicated) enables the delta swap. Nil disables publication
+	// (tests that only exercise apply).
+	Publish func(dirty []kg.EntityID) error
+	// Persist, when non-nil, durably saves the current model state; after
+	// it succeeds the WAL cursor advances past every applied segment and
+	// they are pruned. Nil means segments are retained forever and replay
+	// starts from the base checkpoint.
+	Persist func() error
+	// PersistEvery is how many applied segments trigger a Persist;
+	// 0 means never.
+	PersistEvery int
+	// Metrics is the registry ingest counters register on; nil means a
+	// private registry.
+	Metrics *obs.Registry
+	// Inject is the optional fault injector observed at the
+	// FaultStage* seams; nil is inert.
+	Inject *resil.Injector
+	// Logf receives drainer warnings (apply/publish failures); nil means
+	// the process-default logger.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a point-in-time view of ingest progress for /v1/stats.
+type Stats struct {
+	PendingSegments  int    `json:"pending_segments"`
+	AppliedSegments  uint64 `json:"applied_segments"`
+	AppliedEdges     uint64 `json:"applied_edges"`
+	SkippedEdges     uint64 `json:"skipped_edges"`
+	FineTuneSteps    uint64 `json:"finetune_steps"`
+	Publishes        uint64 `json:"publishes"`
+	PublishFailures  uint64 `json:"publish_failures"`
+	DirtyUnpublished int    `json:"dirty_unpublished"`
+	DurableSeq       uint64 `json:"durable_seq"`
+	MemAppliedSeq    uint64 `json:"mem_applied_seq"`
+	Quarantined      int    `json:"quarantined"`
+}
+
+// Ingester drains the WAL in the background: each pending segment's
+// edges are applied to the graph, folded into the embeddings with a
+// deterministic bounded fine-tune step, and the accumulated dirty set
+// is published as a delta snapshot. Submit is safe for concurrent use;
+// the drain loop is the sole mutator of the model's graph.
+type Ingester struct {
+	cfg Config
+
+	mu         sync.Mutex
+	memApplied uint64 // highest segment folded into the in-memory model
+	dirty      map[kg.EntityID]struct{}
+	sincePers  int
+	closed     bool
+	started    bool
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	edgesApplied  *obs.Counter
+	edgesSkipped  *obs.Counter
+	segsApplied   *obs.Counter
+	ftSteps       *obs.Counter
+	publishes     *obs.Counter
+	publishFails  *obs.Counter
+	applyMs       *obs.Histogram
+	publishMs     *obs.Histogram
+	backlogSheds  *obs.Counter
+	quarantinedCt *obs.Counter
+}
+
+// New builds an Ingester over an opened WAL. Call Start to launch the
+// drain loop (or Replay to catch up synchronously first).
+func New(cfg Config) (*Ingester, error) {
+	if cfg.Model == nil || cfg.WAL == nil {
+		return nil, fmt.Errorf("ingest: Model and WAL are required")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 256
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	in := &Ingester{
+		cfg:   cfg,
+		dirty: make(map[kg.EntityID]struct{}),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+
+		edgesApplied:  reg.Counter("halk_ingest_edges_applied_total", "Edge mutations folded into the model."),
+		edgesSkipped:  reg.Counter("halk_ingest_edges_skipped_total", "Edge mutations that were graph no-ops (duplicate add, absent remove)."),
+		segsApplied:   reg.Counter("halk_ingest_segments_applied_total", "WAL segments applied to the in-memory model."),
+		ftSteps:       reg.Counter("halk_ingest_finetune_steps_total", "Bounded fine-tune SGD steps taken."),
+		publishes:     reg.Counter("halk_ingest_publishes_total", "Delta snapshot publications."),
+		publishFails:  reg.Counter("halk_ingest_publish_failures_total", "Failed delta publications (retried next cycle)."),
+		applyMs:       reg.Histogram("halk_ingest_apply_ms", "Per-segment apply+fine-tune latency (ms).", obs.LatencyBuckets),
+		publishMs:     reg.Histogram("halk_ingest_publish_ms", "Delta publish latency (ms).", obs.LatencyBuckets),
+		backlogSheds:  reg.Counter("halk_ingest_backlog_sheds_total", "Submissions refused because the WAL backlog was full."),
+		quarantinedCt: reg.Counter("halk_ingest_wal_quarantined_total", "Corrupt WAL files quarantined at open."),
+	}
+	in.quarantinedCt.Add(uint64(cfg.WAL.Quarantined()))
+	reg.GaugeFunc("halk_ingest_queue_segments", "WAL segments awaiting durable application.",
+		func() float64 { return float64(cfg.WAL.PendingCount()) })
+	return in, nil
+}
+
+// Submit validates and durably logs one batch of edge mutations,
+// returning the WAL sequence that now owns them. The edges are applied
+// to the model asynchronously by the drain loop; durability is
+// immediate (a crash after Submit returns replays the batch).
+func (in *Ingester) Submit(recs []Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("ingest: empty batch")
+	}
+	numEnt := in.cfg.Model.Graph().NumEntities()
+	numRel := in.cfg.Model.Graph().NumRelations()
+	for _, r := range recs {
+		if r.Op != OpAdd && r.Op != OpRemove {
+			return 0, fmt.Errorf("ingest: unknown op %d", r.Op)
+		}
+		if int(r.H) < 0 || int(r.H) >= numEnt || int(r.T) < 0 || int(r.T) >= numEnt {
+			return 0, fmt.Errorf("ingest: entity out of range in %+v (have %d)", r.Triple(), numEnt)
+		}
+		if int(r.R) < 0 || int(r.R) >= numRel {
+			return 0, fmt.Errorf("ingest: relation out of range in %+v (have %d)", r.Triple(), numRel)
+		}
+	}
+	in.mu.Lock()
+	closed := in.closed
+	in.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	if in.cfg.WAL.PendingCount() >= in.cfg.MaxPending {
+		in.backlogSheds.Inc()
+		return 0, ErrBacklog
+	}
+	if err := in.cfg.Inject.Fire(FaultStageAppend, resil.AnyShard); err != nil {
+		return 0, err
+	}
+	seq, err := in.cfg.WAL.Append(recs)
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case in.wake <- struct{}{}:
+	default:
+	}
+	return seq, nil
+}
+
+// Replay synchronously applies every pending WAL segment to the model
+// and publishes once — the startup catch-up path. Because fine-tune
+// steps are seeded by segment sequence, replaying onto the base
+// checkpoint reproduces the pre-crash embeddings exactly.
+func (in *Ingester) Replay() error {
+	applied := false
+	for _, seq := range in.cfg.WAL.Pending() {
+		did, err := in.applySegment(seq)
+		if err != nil {
+			return err
+		}
+		applied = applied || did
+	}
+	if applied {
+		if err := in.publish(); err != nil {
+			return err
+		}
+	}
+	in.maybePersist()
+	return nil
+}
+
+// Start launches the background drain loop. Calling it more than once
+// is a no-op.
+func (in *Ingester) Start() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.started || in.closed {
+		return
+	}
+	in.started = true
+	go in.loop()
+}
+
+// Close stops the drain loop after its current cycle and waits for it
+// (no-op wait when Start was never called, e.g. a Replay-only user).
+// Pending WAL segments stay durable and are replayed at the next open.
+func (in *Ingester) Close() {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	in.closed = true
+	started := in.started
+	in.mu.Unlock()
+	close(in.stop)
+	if started {
+		<-in.done
+	}
+}
+
+func (in *Ingester) loop() {
+	defer close(in.done)
+	tick := time.NewTicker(in.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-in.stop:
+			// Final best-effort drain so a clean shutdown leaves nothing
+			// unapplied (segments remain durable either way).
+			in.drainOnce()
+			return
+		case <-in.wake:
+		case <-tick.C:
+		}
+		in.drainOnce()
+	}
+}
+
+// drainOnce applies every segment currently pending beyond the
+// in-memory cursor, then publishes the accumulated dirty set once.
+func (in *Ingester) drainOnce() {
+	applied := false
+	for _, seq := range in.cfg.WAL.Pending() {
+		in.mu.Lock()
+		skip := seq <= in.memApplied
+		in.mu.Unlock()
+		if skip {
+			continue
+		}
+		did, err := in.applySegment(seq)
+		if err != nil {
+			in.cfg.Logf("ingest: apply segment %d: %v", seq, err)
+			return // retry next cycle; order must be preserved
+		}
+		applied = applied || did
+	}
+	in.mu.Lock()
+	unpublished := len(in.dirty) > 0
+	in.mu.Unlock()
+	if applied || unpublished {
+		if err := in.publish(); err != nil {
+			in.publishFails.Inc()
+			in.cfg.Logf("ingest: publish: %v", err)
+			return // dirty set is retained; retried next cycle
+		}
+	}
+	in.maybePersist()
+}
+
+// applySegment folds one WAL segment into the graph and embeddings. It
+// reports whether any edge actually changed the model. In-process
+// re-application is a no-op (the memApplied cursor skips it); replay
+// after a restart re-runs the identical deterministic step against the
+// identically restored state.
+func (in *Ingester) applySegment(seq uint64) (bool, error) {
+	in.mu.Lock()
+	if seq <= in.memApplied {
+		in.mu.Unlock()
+		return false, nil
+	}
+	in.mu.Unlock()
+	if err := in.cfg.Inject.Fire(FaultStageApply, resil.AnyShard); err != nil {
+		return false, err
+	}
+	recs, err := in.cfg.WAL.Load(seq)
+	if err != nil {
+		return false, err
+	}
+	start := time.Now()
+	g := in.cfg.Model.Graph()
+	applied := false
+	for batch := 0; len(recs) > 0; batch++ {
+		n := in.cfg.BatchSize
+		if n > len(recs) {
+			n = len(recs)
+		}
+		chunk := recs[:n]
+		recs = recs[n:]
+		var added, removed []kg.Triple
+		for _, r := range chunk {
+			// A graph no-op (duplicate add, absent remove) contributes no
+			// fine-tune signal: the stored facts did not change.
+			switch r.Op {
+			case OpAdd:
+				if g.AddTriple(r.Triple()) {
+					added = append(added, r.Triple())
+				} else {
+					in.edgesSkipped.Inc()
+				}
+			case OpRemove:
+				if g.RemoveTriple(r.Triple()) {
+					removed = append(removed, r.Triple())
+				} else {
+					in.edgesSkipped.Inc()
+				}
+			}
+		}
+		if len(added)+len(removed) == 0 {
+			continue
+		}
+		ft := in.cfg.FineTune
+		ft.Seed += int64(seq)*1_000_000 + int64(batch)
+		res, err := in.cfg.Model.FineTuneEdges(added, removed, ft)
+		if err != nil {
+			return applied, err
+		}
+		applied = true
+		in.ftSteps.Inc()
+		in.edgesApplied.Add(uint64(len(added) + len(removed)))
+		in.mu.Lock()
+		for _, e := range res.DirtyEntities {
+			in.dirty[e] = struct{}{}
+		}
+		in.mu.Unlock()
+	}
+	in.mu.Lock()
+	in.memApplied = seq
+	in.sincePers++
+	in.mu.Unlock()
+	in.segsApplied.Inc()
+	in.applyMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	return applied, nil
+}
+
+// publish pushes the accumulated dirty set through Config.Publish and
+// clears it on success. The dirty set is only cleared after the publish
+// succeeds, so a failed publish never strands fine-tuned rows outside
+// the serving snapshot.
+func (in *Ingester) publish() error {
+	if in.cfg.Publish == nil {
+		in.mu.Lock()
+		in.dirty = make(map[kg.EntityID]struct{})
+		in.mu.Unlock()
+		return nil
+	}
+	if err := in.cfg.Inject.Fire(FaultStagePublish, resil.AnyShard); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	dirty := make([]kg.EntityID, 0, len(in.dirty))
+	for e := range in.dirty {
+		dirty = append(dirty, e)
+	}
+	in.mu.Unlock()
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	start := time.Now()
+	if err := in.cfg.Publish(dirty); err != nil {
+		return err
+	}
+	in.publishMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	in.publishes.Inc()
+	in.mu.Lock()
+	for _, e := range dirty {
+		delete(in.dirty, e)
+	}
+	in.mu.Unlock()
+	return nil
+}
+
+// maybePersist checkpoints the model and advances the durable WAL
+// cursor once enough segments have been applied since the last persist.
+func (in *Ingester) maybePersist() {
+	if in.cfg.Persist == nil || in.cfg.PersistEvery <= 0 {
+		return
+	}
+	in.mu.Lock()
+	due := in.sincePers >= in.cfg.PersistEvery
+	seq := in.memApplied
+	in.mu.Unlock()
+	if !due {
+		return
+	}
+	if err := in.cfg.Persist(); err != nil {
+		in.cfg.Logf("ingest: persist: %v", err)
+		return
+	}
+	if err := in.cfg.WAL.Advance(seq); err != nil {
+		in.cfg.Logf("ingest: advance wal: %v", err)
+		return
+	}
+	in.mu.Lock()
+	in.sincePers = 0
+	in.mu.Unlock()
+}
+
+// Stats reports ingest progress.
+func (in *Ingester) Stats() Stats {
+	in.mu.Lock()
+	mem := in.memApplied
+	unpub := len(in.dirty)
+	in.mu.Unlock()
+	return Stats{
+		PendingSegments:  in.cfg.WAL.PendingCount(),
+		AppliedSegments:  in.segsApplied.Value(),
+		AppliedEdges:     in.edgesApplied.Value(),
+		SkippedEdges:     in.edgesSkipped.Value(),
+		FineTuneSteps:    in.ftSteps.Value(),
+		Publishes:        in.publishes.Value(),
+		PublishFailures:  in.publishFails.Value(),
+		DirtyUnpublished: unpub,
+		DurableSeq:       in.cfg.WAL.AppliedSeq(),
+		MemAppliedSeq:    mem,
+		Quarantined:      in.cfg.WAL.Quarantined(),
+	}
+}

@@ -1,0 +1,253 @@
+// Package ingest implements the live-graph ingest subsystem: a
+// crash-safe write-ahead log of edge mutations (additions and removals
+// of triples), a background drainer that folds logged edges into the
+// model with bounded dirty-set fine-tune steps, and a delta-snapshot
+// publisher that pushes the result through the established
+// Swap/entity-version machinery so version-namespaced caches invalidate
+// precisely.
+//
+// Durability model: fine-tuned embeddings live in memory, so the WAL —
+// not the model — is the system of record for accepted edges. A
+// submitted batch is durable once its WAL segment is on disk; after a
+// crash the server replays every segment past the durable APPLIED
+// cursor onto the reloaded base checkpoint, and because each segment's
+// fine-tune step is deterministic (seeded by segment sequence), replay
+// reconstructs the pre-crash embeddings bit for bit. The APPLIED cursor
+// only advances — and segments are only pruned — when the caller
+// confirms the model state covering them has itself been made durable.
+package ingest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/halk-kg/halk/internal/ckpt"
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+// Op says what a Record does to the graph.
+type Op uint8
+
+const (
+	// OpAdd inserts the triple.
+	OpAdd Op = iota
+	// OpRemove deletes the triple.
+	OpRemove
+)
+
+// Record is one logged edge mutation.
+type Record struct {
+	Op Op
+	H  kg.EntityID
+	R  kg.RelationID
+	T  kg.EntityID
+}
+
+// Triple returns the record's triple.
+func (r Record) Triple() kg.Triple { return kg.Triple{H: r.H, R: r.R, T: r.T} }
+
+const (
+	segPrefix   = "wal-"
+	segSuffix   = ".wal"
+	appliedName = "APPLIED"
+)
+
+// WAL is the crash-safe edge log. Each Append writes one segment file
+// (`wal-<seq>.wal`) holding the gob-encoded records inside a ckpt
+// envelope (magic + version + CRC-32C footer) via the same
+// temp → fsync → rename discipline as checkpoints: a crash mid-append
+// publishes nothing — the torn temp file is ignored and removed on the
+// next Open. Segments are strictly sequenced; the APPLIED manifest (a
+// ckpt envelope around the last durably-applied sequence) marks the
+// replay floor.
+//
+// All methods are safe for concurrent use.
+type WAL struct {
+	dir string
+
+	mu          sync.Mutex
+	nextSeq     uint64
+	applied     uint64
+	pending     []uint64 // sorted sequences > applied still on disk
+	quarantined int
+}
+
+// OpenWAL opens (creating if needed) the log directory, quarantines
+// unreadable or corrupt segment files by renaming them to `<name>.bad`,
+// removes abandoned temp files, and loads the APPLIED cursor. A corrupt
+// or missing APPLIED manifest resets the cursor to 0 — replaying
+// already-applied segments is safe because segment application is
+// deterministic and replay always starts from the durable base model.
+func OpenWAL(dir string) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: open wal: %w", err)
+	}
+	w := &WAL{dir: dir, nextSeq: 1}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: open wal: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.Contains(name, ".tmp-"):
+			// Torn write from a crash mid-append; it was never published.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		case name == appliedName:
+			raw, err := ckpt.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				w.quarantine(name)
+				continue
+			}
+			var seq uint64
+			if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&seq); err != nil {
+				w.quarantine(name)
+				continue
+			}
+			w.applied = seq
+			continue
+		case !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix):
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil {
+			w.quarantine(name)
+			continue
+		}
+		// Verify the envelope now so a bit-flipped segment is quarantined
+		// at open instead of poisoning replay later.
+		if _, err := ckpt.ReadFile(filepath.Join(dir, name)); err != nil {
+			w.quarantine(name)
+			continue
+		}
+		if seq >= w.nextSeq {
+			w.nextSeq = seq + 1
+		}
+		w.pending = append(w.pending, seq)
+	}
+	sort.Slice(w.pending, func(i, j int) bool { return w.pending[i] < w.pending[j] })
+	// Drop segments at or below the durable cursor (already folded into a
+	// persisted model) from the replay list.
+	for len(w.pending) > 0 && w.pending[0] <= w.applied {
+		w.pending = w.pending[1:]
+	}
+	if w.applied >= w.nextSeq {
+		w.nextSeq = w.applied + 1
+	}
+	return w, nil
+}
+
+func (w *WAL) quarantine(name string) {
+	os.Rename(filepath.Join(w.dir, name), filepath.Join(w.dir, name+".bad"))
+	w.quarantined++
+}
+
+func (w *WAL) segPath(seq uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("%s%016d%s", segPrefix, seq, segSuffix))
+}
+
+// Append durably logs one batch of records as the next segment and
+// returns its sequence number. The write is crash-atomic: either the
+// whole segment is published or nothing is.
+func (w *WAL) Append(recs []Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("ingest: empty batch")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seq := w.nextSeq
+	err := ckpt.WriteFile(w.segPath(seq), func(f io.Writer) error {
+		return gob.NewEncoder(f).Encode(recs)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("ingest: append segment %d: %w", seq, err)
+	}
+	w.nextSeq = seq + 1
+	w.pending = append(w.pending, seq)
+	return seq, nil
+}
+
+// Load reads and verifies one segment's records.
+func (w *WAL) Load(seq uint64) ([]Record, error) {
+	raw, err := ckpt.ReadFile(w.segPath(seq))
+	if err != nil {
+		return nil, fmt.Errorf("ingest: load segment %d: %w", seq, err)
+	}
+	var recs []Record
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("ingest: decode segment %d: %w", seq, err)
+	}
+	return recs, nil
+}
+
+// Pending returns the sequences past the durable APPLIED cursor, in
+// order. These are the segments a restart must replay.
+func (w *WAL) Pending() []uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]uint64(nil), w.pending...)
+}
+
+// PendingCount reports how many segments await durable application.
+func (w *WAL) PendingCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
+}
+
+// AppliedSeq reports the durable APPLIED cursor: every segment at or
+// below it is folded into a persisted model state.
+func (w *WAL) AppliedSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.applied
+}
+
+// NextSeq reports the sequence the next Append will use.
+func (w *WAL) NextSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq
+}
+
+// Quarantined reports how many corrupt files Open set aside.
+func (w *WAL) Quarantined() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.quarantined
+}
+
+// Advance durably moves the APPLIED cursor to seq and prunes segments
+// at or below it. Call it only once the model state covering those
+// segments is itself durable (e.g. a checkpoint was written): advancing
+// earlier would skip their replay after a crash and silently lose the
+// edges. The manifest write is crash-atomic; pruning is best-effort
+// (a leftover pruned segment is re-ignored at the next Open).
+func (w *WAL) Advance(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if seq <= w.applied {
+		return nil
+	}
+	err := ckpt.WriteFile(filepath.Join(w.dir, appliedName), func(f io.Writer) error {
+		return gob.NewEncoder(f).Encode(seq)
+	})
+	if err != nil {
+		return fmt.Errorf("ingest: advance applied cursor: %w", err)
+	}
+	w.applied = seq
+	for len(w.pending) > 0 && w.pending[0] <= seq {
+		os.Remove(w.segPath(w.pending[0]))
+		w.pending = w.pending[1:]
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+func testRecords(n int, base int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		op := OpAdd
+		if i%3 == 2 {
+			op = OpRemove
+		}
+		recs[i] = Record{Op: op, H: kg.EntityID(base + i), R: kg.RelationID(i % 4), T: kg.EntityID(base + i + 1)}
+	}
+	return recs
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]Record
+	for i := 0; i < 3; i++ {
+		recs := testRecords(4+i, i*10)
+		want = append(want, recs)
+		seq, err := w.Append(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if _, err := w.Append(nil); err == nil {
+		t.Fatal("empty append accepted")
+	}
+
+	// Reopen: same pending set, same contents, NextSeq continues.
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pend := w2.Pending()
+	if len(pend) != 3 {
+		t.Fatalf("pending = %v, want 3 segments", pend)
+	}
+	for i, seq := range pend {
+		got, err := w2.Load(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want[i]) {
+			t.Fatalf("segment %d: %d records, want %d", seq, len(got), len(want[i]))
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("segment %d record %d: %+v != %+v", seq, j, got[j], want[i][j])
+			}
+		}
+	}
+	if w2.NextSeq() != 4 {
+		t.Fatalf("NextSeq = %d, want 4", w2.NextSeq())
+	}
+}
+
+func TestWALAdvance(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := OpenWAL(dir)
+	for i := 0; i < 4; i++ {
+		if _, err := w.Append(testRecords(2, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Advance(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Pending(); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("pending after advance = %v, want [3 4]", got)
+	}
+	// Pruned segment files are gone.
+	if _, err := os.Stat(w.segPath(1)); !os.IsNotExist(err) {
+		t.Fatal("segment 1 not pruned")
+	}
+	// Advance is monotonic: going backwards is a no-op.
+	if err := w.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	if w.AppliedSeq() != 2 {
+		t.Fatalf("AppliedSeq = %d, want 2", w.AppliedSeq())
+	}
+
+	// The cursor survives a reopen; replay starts past it.
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.AppliedSeq() != 2 {
+		t.Fatalf("reopened AppliedSeq = %d, want 2", w2.AppliedSeq())
+	}
+	if got := w2.Pending(); len(got) != 2 || got[0] != 3 {
+		t.Fatalf("reopened pending = %v, want [3 4]", got)
+	}
+	if w2.NextSeq() != 5 {
+		t.Fatalf("reopened NextSeq = %d, want 5", w2.NextSeq())
+	}
+}
+
+// TestWALCrashMidAppend simulates a crash before the rename publishes a
+// segment: the abandoned temp file must be swept and never replayed.
+func TestWALCrashMidAppend(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := OpenWAL(dir)
+	if _, err := w.Append(testRecords(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "wal-0000000000000002.wal.tmp-123456")
+	if err := os.WriteFile(torn, []byte("half a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.Pending(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("pending = %v, want [1]", got)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("torn temp file not removed")
+	}
+	if w2.Quarantined() != 0 {
+		t.Fatalf("temp sweep counted as quarantine: %d", w2.Quarantined())
+	}
+	// The next append takes the sequence the torn write would have used.
+	seq, err := w2.Append(testRecords(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("seq after torn append = %d, want 2", seq)
+	}
+}
+
+// TestWALTruncateAdversarial truncates a segment at every length and
+// requires reopen to quarantine it without losing its neighbours —
+// mirroring the ckpt envelope's truncation suite.
+func TestWALTruncateAdversarial(t *testing.T) {
+	mkdir := func(t *testing.T) (string, []byte) {
+		dir := t.TempDir()
+		w, _ := OpenWAL(dir)
+		if _, err := w.Append(testRecords(3, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Append(testRecords(3, 10)); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(w.segPath(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, raw
+	}
+	dir0, raw := mkdir(t)
+	_ = dir0
+	step := len(raw)/8 + 1
+	for cut := 0; cut < len(raw); cut += step {
+		dir, _ := mkdir(t)
+		seg := filepath.Join(dir, "wal-0000000000000002.wal")
+		if err := os.WriteFile(seg, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := OpenWAL(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if got := w.Pending(); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("cut=%d: pending = %v, want [1]", cut, got)
+		}
+		if w.Quarantined() != 1 {
+			t.Fatalf("cut=%d: quarantined = %d, want 1", cut, w.Quarantined())
+		}
+		if _, err := os.Stat(seg + ".bad"); err != nil {
+			t.Fatalf("cut=%d: no .bad file: %v", cut, err)
+		}
+		// The healthy segment still loads.
+		if _, err := w.Load(1); err != nil {
+			t.Fatalf("cut=%d: healthy segment lost: %v", cut, err)
+		}
+	}
+}
+
+// TestWALBitFlipAdversarial flips one bit at every byte offset of a
+// segment; every flip must be caught by the envelope (magic, version,
+// CRC, or footer check) and quarantined.
+func TestWALBitFlipAdversarial(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := OpenWAL(dir)
+	if _, err := w.Append(testRecords(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(w.segPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(raw); off++ {
+		dir := t.TempDir()
+		flipped := append([]byte(nil), raw...)
+		flipped[off] ^= 0x40
+		if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000001.wal"), flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := OpenWAL(dir)
+		if err != nil {
+			t.Fatalf("off=%d: %v", off, err)
+		}
+		if len(w.Pending()) != 0 || w.Quarantined() != 1 {
+			t.Fatalf("off=%d: flip not quarantined (pending %v, quarantined %d)", off, w.Pending(), w.Quarantined())
+		}
+	}
+}
+
+// TestWALCorruptAppliedCursor resets a damaged APPLIED manifest to 0:
+// the safe direction, since replaying already-applied segments onto the
+// restored base model is deterministic and idempotent.
+func TestWALCorruptAppliedCursor(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := OpenWAL(dir)
+	if _, err := w.Append(testRecords(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(testRecords(2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Advance without pruning reach: cursor = 1 prunes segment 1 only.
+	if err := w.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "APPLIED"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.AppliedSeq() != 0 {
+		t.Fatalf("AppliedSeq with corrupt manifest = %d, want 0", w2.AppliedSeq())
+	}
+	if w2.Quarantined() != 1 {
+		t.Fatalf("quarantined = %d, want 1", w2.Quarantined())
+	}
+	// Only segment 2 survives on disk (1 was pruned) and it is pending.
+	if got := w2.Pending(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("pending = %v, want [2]", got)
+	}
+}
+
+func TestWALIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"notes.txt", "wal-abc.wal", "wal-1.snapshot"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Pending()) != 0 {
+		t.Fatalf("pending = %v, want none", w.Pending())
+	}
+	// Only the malformed wal-*.wal name is quarantined; foreign files are
+	// left alone.
+	if w.Quarantined() != 1 {
+		t.Fatalf("quarantined = %d, want 1 (wal-abc.wal)", w.Quarantined())
+	}
+	entries, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "notes.txt") || !strings.Contains(joined, "wal-1.snapshot") {
+		t.Fatalf("foreign files disturbed: %v", names)
+	}
+}

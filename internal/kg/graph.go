@@ -109,6 +109,36 @@ func insertSorted(s []EntityID, e EntityID) []EntityID {
 	return s
 }
 
+// RemoveTriple deletes a fact; it reports whether the triple was
+// present. Removal keeps every index consistent (seen set, insertion
+// slice, per-relation successor/predecessor lists), so a removed fact
+// is invisible to all read paths. Like AddTriple, it is not safe for
+// use concurrent with readers — the streaming-ingest subsystem applies
+// removals from a single goroutine.
+func (g *Graph) RemoveTriple(t Triple) bool {
+	if _, ok := g.seen[t]; !ok {
+		return false
+	}
+	delete(g.seen, t)
+	for i, tr := range g.triples {
+		if tr == t {
+			g.triples = append(g.triples[:i], g.triples[i+1:]...)
+			break
+		}
+	}
+	g.out[t.R][t.H] = removeSorted(g.out[t.R][t.H], t.T)
+	g.in[t.R][t.T] = removeSorted(g.in[t.R][t.T], t.H)
+	return true
+}
+
+func removeSorted(s []EntityID, e EntityID) []EntityID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= e })
+	if i >= len(s) || s[i] != e {
+		return s
+	}
+	return append(s[:i], s[i+1:]...)
+}
+
 // HasTriple reports whether (h, r, t) is a stored fact.
 func (g *Graph) HasTriple(h EntityID, r RelationID, t EntityID) bool {
 	_, ok := g.seen[Triple{h, r, t}]

@@ -183,3 +183,96 @@ func TestIntersectHot(t *testing.T) {
 		t.Error("IntersectHot() of nothing should be nil")
 	}
 }
+
+func TestRemoveTriple(t *testing.T) {
+	g := tinyGraph()
+	if g.RemoveTriple(Triple{1, 0, 0}) {
+		t.Error("RemoveTriple of absent triple reported true")
+	}
+	if !g.RemoveTriple(Triple{0, 0, 1}) {
+		t.Fatal("RemoveTriple of present triple reported false")
+	}
+	if g.HasTriple(0, 0, 1) {
+		t.Error("removed triple still in seen set")
+	}
+	if g.NumTriples() != 3 {
+		t.Errorf("NumTriples = %d, want 3", g.NumTriples())
+	}
+	if succ := g.Successors(0, 0); len(succ) != 1 || succ[0] != 2 {
+		t.Errorf("Successors(a, knows) after removal = %v, want [2]", succ)
+	}
+	if pred := g.Predecessors(1, 0); len(pred) != 0 {
+		t.Errorf("Predecessors(b, knows) after removal = %v, want empty", pred)
+	}
+	// Removing the same triple again is a no-op.
+	if g.RemoveTriple(Triple{0, 0, 1}) {
+		t.Error("second RemoveTriple reported true")
+	}
+	// Re-adding after removal works and restores the indexes.
+	if !g.AddTriple(Triple{0, 0, 1}) {
+		t.Error("re-AddTriple after removal reported duplicate")
+	}
+	if succ := g.Successors(0, 0); len(succ) != 2 || succ[0] != 1 || succ[1] != 2 {
+		t.Errorf("Successors after re-add = %v, want [1 2]", succ)
+	}
+}
+
+func TestRemoveTripleRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ents, rels := NewDict(), NewDict()
+	for i := 0; i < 20; i++ {
+		ents.Add(string(rune('a' + i)))
+	}
+	rels.Add("r0")
+	rels.Add("r1")
+	g := NewGraph(ents, rels)
+	var live []Triple
+	for i := 0; i < 200; i++ {
+		tr := Triple{EntityID(rng.Intn(20)), RelationID(rng.Intn(2)), EntityID(rng.Intn(20))}
+		if g.AddTriple(tr) {
+			live = append(live, tr)
+		}
+	}
+	// Remove half at random, then verify every index agrees with the
+	// surviving set.
+	rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	cut := len(live) / 2
+	for _, tr := range live[:cut] {
+		if !g.RemoveTriple(tr) {
+			t.Fatalf("RemoveTriple(%+v) reported absent", tr)
+		}
+	}
+	survivors := live[cut:]
+	if g.NumTriples() != len(survivors) {
+		t.Fatalf("NumTriples = %d, want %d", g.NumTriples(), len(survivors))
+	}
+	for _, tr := range survivors {
+		if !g.HasTriple(tr.H, tr.R, tr.T) {
+			t.Errorf("survivor %+v missing", tr)
+		}
+		found := false
+		for _, s := range g.Successors(tr.H, tr.R) {
+			if s == tr.T {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("survivor %+v missing from Successors", tr)
+		}
+	}
+	for _, tr := range live[:cut] {
+		if g.HasTriple(tr.H, tr.R, tr.T) {
+			t.Errorf("removed %+v still present", tr)
+		}
+		for _, s := range g.Successors(tr.H, tr.R) {
+			if s == tr.T {
+				t.Errorf("removed %+v still in Successors", tr)
+			}
+		}
+		for _, p := range g.Predecessors(tr.T, tr.R) {
+			if p == tr.H {
+				t.Errorf("removed %+v still in Predecessors", tr)
+			}
+		}
+	}
+}

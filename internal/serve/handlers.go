@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/halk-kg/halk/internal/ckpt"
+	"github.com/halk-kg/halk/internal/ingest"
 	"github.com/halk-kg/halk/internal/kg"
 	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/query"
@@ -127,8 +128,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	debugTrace := r.URL.Query().Get("debug") == "trace"
 	tr.Begin(obs.StageParse)
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		fail(http.StatusBadRequest, "invalid JSON body: %v", err)
+	if code, err := s.decodeBody(w, r, &req); err != nil {
+		fail(code, "%v", err)
 		return
 	}
 
@@ -508,6 +509,9 @@ type statsResponse struct {
 	// process wired a ckpt.Status: file, training step, load time, and
 	// hot-reload outcome counters.
 	Checkpoint *ckpt.StatusSnapshot `json:"checkpoint,omitempty"`
+	// Ingest reports live-edge ingest progress when an EdgeSink is wired:
+	// WAL backlog, applied edges, fine-tune steps, and publish outcomes.
+	Ingest *ingest.Stats `json:"ingest,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -533,6 +537,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.gate != nil {
 		resp.Admission = s.gate.snapshot()
+	}
+	if s.cfg.Edges != nil {
+		st := s.cfg.Edges.Stats()
+		resp.Ingest = &st
 	}
 	WriteJSON(w, http.StatusOK, resp)
 	s.metrics.observe("/v1/stats", time.Since(start), false)

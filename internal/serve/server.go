@@ -147,6 +147,13 @@ type Config struct {
 	// halk-serve shares one ckpt.Status between this server and its
 	// -ckpt-watch reload loop, and registers its gauges on Metrics.
 	Ckpt *ckpt.Status
+	// Edges, when set, enables POST /v1/edges: accepted batches are
+	// durably logged by the sink (an ingest.Ingester) and folded into the
+	// model asynchronously. Nil answers the endpoint with 503.
+	Edges EdgeSink
+	// MaxBodyBytes caps every mutating request body (/v1/query,
+	// /v1/edges); an oversized body is refused with 413. 0 means 1 MiB.
+	MaxBodyBytes int64
 }
 
 // DefaultCacheSize is the answer-cache capacity when Config leaves
@@ -200,6 +207,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 10 * time.Second
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
@@ -227,6 +237,7 @@ func New(cfg Config) (*Server, error) {
 		s.gate = newAdmission(cfg.Workers, cfg.MaxQueueWait, cfg.Metrics)
 	}
 	s.mux.HandleFunc("/v1/query", s.recoverHandler("/v1/query", s.handleQuery))
+	s.mux.HandleFunc("/v1/edges", s.recoverHandler("/v1/edges", s.handleEdges))
 	s.mux.HandleFunc("/v1/healthz", s.recoverHandler("/v1/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/stats", s.recoverHandler("/v1/stats", s.handleStats))
 	s.mux.Handle("/metrics", cfg.Metrics.Handler())

@@ -102,6 +102,12 @@ type Engine struct {
 	closeMu sync.RWMutex
 	closed  bool
 
+	// Delta-swap counters: delta publications and how many shards each
+	// rebuilt vs shared with the previous snapshot.
+	deltaSwaps   *obs.Counter
+	deltaRebuilt *obs.Counter
+	deltaReused  *obs.Counter
+
 	// slow, when set, is called at the start of each shard scan — a test
 	// hook for injecting a wedged shard (Options.ScanHook).
 	slow func(shardIdx int)
@@ -133,6 +139,9 @@ func NewEngine(p Params, opts Options) *Engine {
 		slow:         opts.ScanHook,
 		scanErr:      opts.ScanErr,
 	}
+	e.deltaSwaps = reg.Counter("halk_shard_delta_swaps_total", "Delta snapshot publications (Source.Dirty fast path).")
+	e.deltaRebuilt = reg.Counter("halk_shard_delta_shards_rebuilt_total", "Shards rebuilt across delta swaps.")
+	e.deltaReused = reg.Counter("halk_shard_delta_shards_reused_total", "Shards shared with the previous snapshot across delta swaps.")
 	if opts.Breaker != nil {
 		e.breakers = make([]*resil.Breaker, n)
 		for i := range e.breakers {
@@ -218,6 +227,21 @@ func (e *Engine) Swap(src Source) error {
 	if cur != nil && len(src.Angles) != cur.numEntities*e.p.Dim {
 		return fmt.Errorf("shard: swap source has %d angle values, published snapshot holds %d entities × dim %d",
 			len(src.Angles), cur.numEntities, e.p.Dim)
+	}
+	// Delta path: when the caller names exactly which entities changed
+	// and the geometry matches the published snapshot, rebuild only the
+	// shards containing a dirty entity and share the rest (shardData is
+	// immutable after publication, so sharing across snapshots is safe).
+	if cur != nil && src.Dirty != nil && len(cur.shards) > 0 && src.Base == cur.shards[0].lo {
+		snap, rebuilt, err := deltaSnapshot(e.p, src, cur, e.annCfg)
+		if err != nil {
+			return err
+		}
+		e.snap.Store(snap)
+		e.deltaSwaps.Inc()
+		e.deltaRebuilt.Add(uint64(rebuilt))
+		e.deltaReused.Add(uint64(len(cur.shards) - rebuilt))
+		return nil
 	}
 	snap, err := buildSnapshot(e.p, e.n, src, e.annCfg)
 	if err != nil {

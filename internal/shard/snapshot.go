@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/halk-kg/halk/internal/ann"
 	"github.com/halk-kg/halk/internal/kg"
@@ -24,6 +25,18 @@ type Source struct {
 	Group   []int32
 	Version uint64
 	Base    int
+
+	// Dirty, when non-nil, lists every global entity ID whose angle row
+	// changed since the engine's currently published snapshot, enabling a
+	// delta swap: shards containing no dirty entity reuse their existing
+	// immutable shardData (trig tables, group slice, ANN index) and only
+	// dirty shards are rebuilt. The caller's contract is that rows of
+	// entities NOT listed are byte-identical to the published snapshot's
+	// source — streaming fine-tune guarantees this via its dirty set. A
+	// non-nil empty Dirty republishes every shard untouched (version-only
+	// bump). Nil means full rebuild. Ignored when no snapshot is
+	// published yet or the table geometry changed.
+	Dirty []int32
 }
 
 // snapshot is one immutable published version of the sharded entity
@@ -100,4 +113,56 @@ func buildSnapshot(p Params, n int, src Source, annCfg *ann.Config) (*snapshot, 
 		lo = hi
 	}
 	return snap, nil
+}
+
+// deltaSnapshot builds a snapshot from src reusing cur's shardData for
+// every shard whose entity range contains no dirty ID. shardData is
+// immutable after publication, so sharing it across snapshots is safe:
+// in-flight scans on cur and new scans on the delta snapshot read the
+// same backing arrays, which neither will ever write. Dirty shards are
+// rebuilt from src exactly as buildSnapshot would (including the
+// per-shard ANN seed offset), so a delta snapshot is byte-identical to
+// a full rebuild whenever the caller's Dirty contract holds. Returns
+// the number of shards rebuilt.
+func deltaSnapshot(p Params, src Source, cur *snapshot, annCfg *ann.Config) (*snapshot, int, error) {
+	dirty := append([]int32(nil), src.Dirty...)
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	snap := &snapshot{
+		version:     src.Version,
+		numEntities: cur.numEntities,
+		shards:      make([]shardData, len(cur.shards)),
+	}
+	rebuilt := 0
+	for i := range cur.shards {
+		lo, hi := cur.shards[i].lo, cur.shards[i].hi
+		// First dirty ID >= lo; the shard is clean when it is also >= hi.
+		j := sort.Search(len(dirty), func(j int) bool { return int(dirty[j]) >= lo })
+		if j >= len(dirty) || int(dirty[j]) >= hi {
+			snap.shards[i] = cur.shards[i]
+			continue
+		}
+		size := hi - lo
+		sd := shardData{
+			lo:  lo,
+			hi:  hi,
+			cos: make([]float64, size*p.Dim),
+			sin: make([]float64, size*p.Dim),
+		}
+		angles := src.Angles[(lo-src.Base)*p.Dim : (hi-src.Base)*p.Dim]
+		for k, a := range angles {
+			sd.cos[k] = math.Cos(a)
+			sd.sin[k] = math.Sin(a)
+		}
+		if p.Xi > 0 {
+			sd.group = src.Group[lo-src.Base : hi-src.Base]
+		}
+		if annCfg != nil && size > 0 {
+			cfg := *annCfg
+			cfg.Seed += int64(i)
+			sd.index = ann.NewFlat(angles, p.Dim, kg.EntityID(lo), cfg)
+		}
+		snap.shards[i] = sd
+		rebuilt++
+	}
+	return snap, rebuilt, nil
 }
