@@ -17,6 +17,15 @@
 // from the previous parameters and counts the failure on
 // halk_ckpt_reload_failures_total.
 //
+// -ingest enables the live-edge write path (POST /v1/edges): batches
+// are WAL-logged under -ingest-dir, fine-tuned into the model in the
+// background, and published as delta snapshots. Every
+// -ingest-persist-every applied segments the fine-tuned state is
+// checkpointed to <ingest-dir>/state.ckpt so the WAL can prune; on
+// restart that state supersedes -ckpt (clear the directory to re-base).
+// -ingest excludes -cluster (the router does not own the embeddings)
+// and -ckpt-watch (a hot-reload would discard fine-tuned state).
+//
 // Endpoints:
 //
 //	POST /v1/query   {"sparql"|"query"|"structure": ..., "k": 10,
@@ -177,49 +186,83 @@ func main() {
 		ckptRetries  = flag.Int("ckpt-retries", 3, "checkpoint-load attempts before giving up (full-jitter exponential backoff between attempts; corrupt/mismatched files fail immediately)")
 		ckptWatch    = flag.Duration("ckpt-watch", 0, "poll the -ckpt path this often and hot-reload newer checkpoints into the running server (0 disables)")
 
-		ingestOn    = flag.Bool("ingest", false, "enable POST /v1/edges: accepted edge batches are WAL-logged, fine-tuned into the model in the background, and published as delta snapshots")
-		ingestDir   = flag.String("ingest-dir", "ingest-wal", "write-ahead-log directory for -ingest (replayed on startup)")
-		ingestBatch = flag.Int("ingest-batch", 64, "edges folded into one fine-tune micro-batch")
-		ingestEvery = flag.Duration("ingest-every", 100*time.Millisecond, "ingest drain poll period (a write also wakes the drainer immediately)")
+		ingestOn      = flag.Bool("ingest", false, "enable POST /v1/edges: accepted edge batches are WAL-logged, fine-tuned into the model in the background, and published as delta snapshots")
+		ingestDir     = flag.String("ingest-dir", "ingest-wal", "write-ahead-log directory for -ingest (replayed on startup; also holds the persisted state checkpoint)")
+		ingestBatch   = flag.Int("ingest-batch", 64, "edges folded into one fine-tune micro-batch (pinned per WAL segment, so changing it never affects replay of already-logged batches)")
+		ingestEvery   = flag.Duration("ingest-every", 100*time.Millisecond, "ingest drain poll period (a write also wakes the drainer immediately)")
+		ingestPersist = flag.Int("ingest-persist-every", 64, "applied WAL segments between durable state checkpoints (<ingest-dir>/state.ckpt); each one advances the WAL cursor and prunes covered segments (0 disables: segments are kept forever and replayed from the base checkpoint)")
 	)
 	flag.Parse()
+
+	if *ingestOn && *ckptWatch > 0 {
+		// A hot-reload would swap fine-tuned embeddings for the new
+		// checkpoint's while the ingest WAL still claims its edges are
+		// applied, and its full shard refresh can be suppressed by an
+		// interleaved delta publish that already stamped the new entity
+		// version. Re-base instead: stop the server, clear (or re-point)
+		// -ingest-dir, restart on the new checkpoint.
+		log.Fatal("-ingest and -ckpt-watch are mutually exclusive: a hot-reload would discard fine-tuned state and race delta publication; restart the server to serve a new checkpoint")
+	}
+
+	var (
+		ds        *kg.Dataset
+		m         *halk.Model
+		info      halk.FileInfo
+		baseDelta []ingest.Record
+	)
+	lookup := func(hdr halk.CheckpointHeader) (*kg.Graph, error) {
+		d, derr := datasetFor(hdr)
+		if derr != nil {
+			return nil, derr
+		}
+		ds = d
+		return d.Train, nil
+	}
+
+	// A persisted ingest state supersedes -ckpt: WAL segments folded into
+	// it were pruned, so re-basing on the raw checkpoint would silently
+	// lose their acknowledged edges. It must load — falling back to -ckpt
+	// on a corrupt state file would lose them just as silently.
+	statePath := ingest.StatePath(*ingestDir)
+	if *ingestOn {
+		if _, serr := os.Stat(statePath); serr == nil {
+			var hdr halk.CheckpointHeader
+			var err error
+			m, hdr, baseDelta, err = ingest.LoadState(statePath, lookup)
+			if err != nil {
+				log.Fatalf("ingest: persisted state %s: %v (the WAL was pruned against this state; refusing to fall back to -ckpt, which would lose acknowledged edges — restore the file or discard %s to re-base)", statePath, err, *ingestDir)
+			}
+			info = halk.FileInfo{Path: statePath, Header: hdr, Step: -1}
+			log.Printf("ingest: resumed from persisted state %s (%d net delta edges); -ckpt is superseded until %s is cleared", statePath, len(baseDelta), *ingestDir)
+		}
+	}
 
 	// Transient open/read failures (checkpoint not yet written by
 	// halk-train, network filesystems) retry with full-jitter backoff;
 	// failures the envelope verification proves permanent — corrupt
 	// bytes, wrong dataset — abort the retry loop immediately.
-	var (
-		ds   *kg.Dataset
-		m    *halk.Model
-		info halk.FileInfo
-	)
-	loadBackoff := resil.NewBackoff(200*time.Millisecond, 5*time.Second, time.Now().UnixNano())
-	err := resil.Retry(context.Background(), *ckptRetries, loadBackoff, func() error {
-		path, err := resolveCkpt(*ckptPath)
-		if err != nil {
-			log.Printf("checkpoint load: %v (will retry)", err)
-			return err
-		}
-		ds = nil
-		m, info, err = halk.LoadCheckpointFile(path, func(hdr halk.CheckpointHeader) (*kg.Graph, error) {
-			d, derr := datasetFor(hdr)
-			if derr != nil {
-				return nil, derr
-			}
-			ds = d
-			return d.Train, nil
-		})
-		if err = classifyLoadErr(err); err != nil {
-			if resil.IsPermanent(err) {
-				log.Printf("checkpoint load: %v (permanent, not retrying)", err)
-			} else {
+	if m == nil {
+		loadBackoff := resil.NewBackoff(200*time.Millisecond, 5*time.Second, time.Now().UnixNano())
+		err := resil.Retry(context.Background(), *ckptRetries, loadBackoff, func() error {
+			path, err := resolveCkpt(*ckptPath)
+			if err != nil {
 				log.Printf("checkpoint load: %v (will retry)", err)
+				return err
 			}
+			ds = nil
+			m, info, err = halk.LoadCheckpointFile(path, lookup)
+			if err = classifyLoadErr(err); err != nil {
+				if resil.IsPermanent(err) {
+					log.Printf("checkpoint load: %v (permanent, not retrying)", err)
+				} else {
+					log.Printf("checkpoint load: %v (will retry)", err)
+				}
+			}
+			return err
+		})
+		if err != nil {
+			log.Fatalf("checkpoint load failed: %v", err)
 		}
-		return err
-	})
-	if err != nil {
-		log.Fatalf("checkpoint load failed: %v", err)
 	}
 	hdr := info.Header
 	log.Printf("loaded %s model (d=%d) trained on %s from %s: %d entities, %d relations",
@@ -356,6 +399,16 @@ func main() {
 			FineTune:  halk.FineTuneConfig{Seed: hdr.Seed},
 			Metrics:   reg,
 			Logf:      log.Printf,
+			BaseDelta: baseDelta,
+			// Persist cuts a durable state checkpoint (embeddings + net
+			// graph delta) so the WAL cursor can advance and covered
+			// segments prune — without it the log and startup replay grow
+			// without bound. Runs on the drain goroutine, the sole mutator
+			// of both the parameters and the delta ledger.
+			PersistEvery: *ingestPersist,
+			Persist: func() error {
+				return ingest.SaveState(statePath, m, hdr.Dataset, hdr.Seed, ing.GraphDelta())
+			},
 			// Publish pushes the fine-tuned rows into whatever the exact
 			// path answers from: the sharded engine rebuilds only the
 			// shards owning dirty entities; the ANN index (which snapshots
@@ -393,7 +446,7 @@ func main() {
 			log.Fatalf("ingest: WAL replay: %v", err)
 		}
 		ing.Start()
-		log.Printf("ingest enabled: POST /v1/edges (wal=%s, batch=%d, drain every %v)", *ingestDir, *ingestBatch, *ingestEvery)
+		log.Printf("ingest enabled: POST /v1/edges (wal=%s, batch=%d, drain every %v, persist every %d segments)", *ingestDir, *ingestBatch, *ingestEvery, *ingestPersist)
 	}
 
 	if *pprofAt != "" {

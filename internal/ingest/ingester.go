@@ -25,12 +25,34 @@ var ErrClosed = errors.New("ingest: closed")
 
 // Fault-injection stage names for the resil.Injector seams, fired in
 // pipeline order: before the WAL append, before a segment's
-// graph+fine-tune apply, and before the delta publish.
+// graph+fine-tune apply (pre-mutation, so an injected error is
+// retryable), inside the apply after the current micro-batch's graph
+// mutations landed (an injected error is unrecoverable, exercising the
+// crash-only path), and before the delta publish.
 const (
-	FaultStageAppend  = "ingest.wal.append"
-	FaultStageApply   = "ingest.apply"
-	FaultStagePublish = "ingest.publish"
+	FaultStageAppend   = "ingest.wal.append"
+	FaultStageApply    = "ingest.apply"
+	FaultStageFineTune = "ingest.finetune"
+	FaultStagePublish  = "ingest.publish"
 )
+
+// FatalApplyError marks a segment apply that failed after some of its
+// graph mutations had already landed. Retrying it in-process is
+// unsound: the landed mutations would replay as graph no-ops and
+// contribute no fine-tune signal, silently diverging the in-memory
+// model from what a crash-and-replay reconstructs. The only consistent
+// recovery is to stop the process and let WAL replay rebuild the state
+// from the durable base — the drain loop hands it to Config.Fatalf.
+type FatalApplyError struct {
+	Seq uint64
+	Err error
+}
+
+func (e *FatalApplyError) Error() string {
+	return fmt.Sprintf("ingest: segment %d failed mid-apply after graph mutations landed: %v", e.Seq, e.Err)
+}
+
+func (e *FatalApplyError) Unwrap() error { return e.Err }
 
 // Config wires an Ingester.
 type Config struct {
@@ -41,31 +63,46 @@ type Config struct {
 	// WAL is the durable edge log (OpenWAL).
 	WAL *WAL
 	// BatchSize caps the records folded into one fine-tune step; larger
-	// segments are split. 0 means 64.
+	// segments are split. The size is pinned into each segment at append
+	// time, so replay after a restart splits it identically even if the
+	// configured size has changed. 0 means 64.
 	BatchSize int
 	// Interval is the drain poll period; a Submit also wakes the drainer
 	// immediately. 0 means 100ms.
 	Interval time.Duration
-	// MaxPending bounds the WAL backlog before Submit sheds with
-	// ErrBacklog. 0 means 256 segments.
+	// MaxPending bounds the *unapplied* backlog — segments beyond the
+	// in-memory apply cursor — before Submit sheds with ErrBacklog: it
+	// measures the drainer falling behind, so a healthy drainer keeps the
+	// write path open indefinitely. Applied segments retained for replay
+	// (awaiting a Persist, or forever when Persist is nil) do not count.
+	// 0 means 256 segments.
 	MaxPending int
 	// FineTune configures the per-batch SGD step. Its Seed is the base
-	// seed: batch b of segment s steps with Seed + s*1e6 + b, so replay
-	// is deterministic regardless of batch boundaries staying stable.
+	// seed: batch b of segment s steps with Seed + s*1e6 + b, and batch
+	// boundaries are pinned per segment at append time, so replay is
+	// deterministic across restarts.
 	FineTune halk.FineTuneConfig
 	// Publish pushes a fine-tuned table to the serving snapshot(s): the
 	// dirty set accumulated since the last successful publish (sorted,
 	// deduplicated) enables the delta swap. Nil disables publication
 	// (tests that only exercise apply).
 	Publish func(dirty []kg.EntityID) error
-	// Persist, when non-nil, durably saves the current model state; after
-	// it succeeds the WAL cursor advances past every applied segment and
+	// Persist, when non-nil, durably saves the current model state
+	// (embeddings *and* the graph delta — see SaveState); after it
+	// succeeds the WAL cursor advances past every applied segment and
 	// they are pruned. Nil means segments are retained forever and replay
 	// starts from the base checkpoint.
 	Persist func() error
 	// PersistEvery is how many applied segments trigger a Persist;
 	// 0 means never.
 	PersistEvery int
+	// BaseDelta seeds the net graph-delta ledger when the model was
+	// restored from a persisted state file (LoadState) rather than the
+	// pristine base checkpoint: it is the delta that state already
+	// carries, so future Persists keep accumulating on top of it. The
+	// records must already be applied to Model.Graph() (LoadState does
+	// this).
+	BaseDelta []Record
 	// Metrics is the registry ingest counters register on; nil means a
 	// private registry.
 	Metrics *obs.Registry
@@ -75,6 +112,13 @@ type Config struct {
 	// Logf receives drainer warnings (apply/publish failures); nil means
 	// the process-default logger.
 	Logf func(format string, args ...any)
+	// Fatalf receives unrecoverable failures — a FatalApplyError, whose
+	// partial graph mutations make both retrying and continuing unsound.
+	// The default, log.Fatalf, implements the crash-only contract: the
+	// process exits and the WAL replay on the next start reconstructs a
+	// consistent state. A replacement that returns (tests) leaves the
+	// drainer parked on the failed segment without advancing.
+	Fatalf func(format string, args ...any)
 }
 
 // Stats is a point-in-time view of ingest progress for /v1/stats.
@@ -89,6 +133,7 @@ type Stats struct {
 	DirtyUnpublished int    `json:"dirty_unpublished"`
 	DurableSeq       uint64 `json:"durable_seq"`
 	MemAppliedSeq    uint64 `json:"mem_applied_seq"`
+	GraphDeltaEdges  int    `json:"graph_delta_edges"`
 	Quarantined      int    `json:"quarantined"`
 }
 
@@ -103,6 +148,7 @@ type Ingester struct {
 	mu         sync.Mutex
 	memApplied uint64 // highest segment folded into the in-memory model
 	dirty      map[kg.EntityID]struct{}
+	delta      map[kg.Triple]Op // net graph mutations vs the pristine base dataset
 	sincePers  int
 	closed     bool
 	started    bool
@@ -141,6 +187,9 @@ func New(cfg Config) (*Ingester, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.Fatalf == nil {
+		cfg.Fatalf = log.Fatalf
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -148,6 +197,7 @@ func New(cfg Config) (*Ingester, error) {
 	in := &Ingester{
 		cfg:   cfg,
 		dirty: make(map[kg.EntityID]struct{}),
+		delta: make(map[kg.Triple]Op, len(cfg.BaseDelta)),
 		wake:  make(chan struct{}, 1),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
@@ -162,6 +212,9 @@ func New(cfg Config) (*Ingester, error) {
 		publishMs:     reg.Histogram("halk_ingest_publish_ms", "Delta publish latency (ms).", obs.LatencyBuckets),
 		backlogSheds:  reg.Counter("halk_ingest_backlog_sheds_total", "Submissions refused because the WAL backlog was full."),
 		quarantinedCt: reg.Counter("halk_ingest_wal_quarantined_total", "Corrupt WAL files quarantined at open."),
+	}
+	for _, r := range cfg.BaseDelta {
+		in.delta[r.Triple()] = r.Op
 	}
 	in.quarantinedCt.Add(uint64(cfg.WAL.Quarantined()))
 	reg.GaugeFunc("halk_ingest_queue_segments", "WAL segments awaiting durable application.",
@@ -192,18 +245,22 @@ func (in *Ingester) Submit(recs []Record) (uint64, error) {
 	}
 	in.mu.Lock()
 	closed := in.closed
+	mem := in.memApplied
 	in.mu.Unlock()
 	if closed {
 		return 0, ErrClosed
 	}
-	if in.cfg.WAL.PendingCount() >= in.cfg.MaxPending {
+	// Backlog is the drainer's lag — segments not yet folded into the
+	// in-memory model — not the durable cursor's: applied segments kept
+	// around for replay must never wedge the write path.
+	if in.cfg.WAL.PendingCountAfter(mem) >= in.cfg.MaxPending {
 		in.backlogSheds.Inc()
 		return 0, ErrBacklog
 	}
 	if err := in.cfg.Inject.Fire(FaultStageAppend, resil.AnyShard); err != nil {
 		return 0, err
 	}
-	seq, err := in.cfg.WAL.Append(recs)
+	seq, err := in.cfg.WAL.Append(recs, in.cfg.BatchSize)
 	if err != nil {
 		return 0, err
 	}
@@ -297,6 +354,14 @@ func (in *Ingester) drainOnce() {
 		}
 		did, err := in.applySegment(seq)
 		if err != nil {
+			var fatal *FatalApplyError
+			if errors.As(err, &fatal) {
+				// Partial graph mutations landed: retrying would replay
+				// them as no-ops and silently diverge from crash-replay.
+				// Crash-only — the next start reconstructs from the WAL.
+				in.cfg.Fatalf("%v; crashing so WAL replay restores a consistent state", err)
+				return
+			}
 			in.cfg.Logf("ingest: apply segment %d: %v", seq, err)
 			return // retry next cycle; order must be preserved
 		}
@@ -330,15 +395,21 @@ func (in *Ingester) applySegment(seq uint64) (bool, error) {
 	if err := in.cfg.Inject.Fire(FaultStageApply, resil.AnyShard); err != nil {
 		return false, err
 	}
-	recs, err := in.cfg.WAL.Load(seq)
+	recs, batchSize, err := in.cfg.WAL.Load(seq)
 	if err != nil {
 		return false, err
+	}
+	if batchSize <= 0 {
+		batchSize = in.cfg.BatchSize
 	}
 	start := time.Now()
 	g := in.cfg.Model.Graph()
 	applied := false
 	for batch := 0; len(recs) > 0; batch++ {
-		n := in.cfg.BatchSize
+		// Split by the batch size pinned in the segment, not the current
+		// config: the (seq, batch) fine-tune seeds only reproduce the
+		// original update if the chunk contents match it exactly.
+		n := batchSize
 		if n > len(recs) {
 			n = len(recs)
 		}
@@ -352,12 +423,14 @@ func (in *Ingester) applySegment(seq uint64) (bool, error) {
 			case OpAdd:
 				if g.AddTriple(r.Triple()) {
 					added = append(added, r.Triple())
+					in.noteDelta(r.Triple(), OpAdd)
 				} else {
 					in.edgesSkipped.Inc()
 				}
 			case OpRemove:
 				if g.RemoveTriple(r.Triple()) {
 					removed = append(removed, r.Triple())
+					in.noteDelta(r.Triple(), OpRemove)
 				} else {
 					in.edgesSkipped.Inc()
 				}
@@ -366,11 +439,17 @@ func (in *Ingester) applySegment(seq uint64) (bool, error) {
 		if len(added)+len(removed) == 0 {
 			continue
 		}
+		// From here on this chunk's graph mutations have landed, so any
+		// failure below leaves the segment half-applied: wrap it as fatal
+		// instead of letting the drain loop retry into divergence.
+		if err := in.cfg.Inject.Fire(FaultStageFineTune, resil.AnyShard); err != nil {
+			return applied, &FatalApplyError{Seq: seq, Err: err}
+		}
 		ft := in.cfg.FineTune
 		ft.Seed += int64(seq)*1_000_000 + int64(batch)
 		res, err := in.cfg.Model.FineTuneEdges(added, removed, ft)
 		if err != nil {
-			return applied, err
+			return applied, &FatalApplyError{Seq: seq, Err: err}
 		}
 		applied = true
 		in.ftSteps.Inc()
@@ -388,6 +467,50 @@ func (in *Ingester) applySegment(seq uint64) (bool, error) {
 	in.segsApplied.Inc()
 	in.applyMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	return applied, nil
+}
+
+// noteDelta folds one landed graph mutation into the net-delta ledger.
+// Re-doing an opposite mutation returns the triple to its base state,
+// so the ledger stays the exact symmetric difference against the
+// pristine dataset: applying it to a fresh base graph reproduces the
+// current one. (delta[tr] == op is unreachable — the graph mutation
+// would have been a no-op and never reach here.)
+func (in *Ingester) noteDelta(tr kg.Triple, op Op) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if prev, ok := in.delta[tr]; ok && prev != op {
+		delete(in.delta, tr)
+		return
+	}
+	in.delta[tr] = op
+}
+
+// GraphDelta returns the net graph mutations accumulated since the
+// pristine base dataset (including any Config.BaseDelta seed), sorted
+// for deterministic state files. It is what SaveState must persist next
+// to the embeddings so a restart rebuilds the same (graph, embeddings)
+// pair the checkpoint was cut from.
+func (in *Ingester) GraphDelta() []Record {
+	in.mu.Lock()
+	out := make([]Record, 0, len(in.delta))
+	for tr, op := range in.delta {
+		out = append(out, Record{Op: op, H: tr.H, R: tr.R, T: tr.T})
+	}
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.H != b.H {
+			return a.H < b.H
+		}
+		if a.R != b.R {
+			return a.R < b.R
+		}
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		return a.Op < b.Op
+	})
+	return out
 }
 
 // publish pushes the accumulated dirty set through Config.Publish and
@@ -456,6 +579,7 @@ func (in *Ingester) Stats() Stats {
 	in.mu.Lock()
 	mem := in.memApplied
 	unpub := len(in.dirty)
+	deltaLen := len(in.delta)
 	in.mu.Unlock()
 	return Stats{
 		PendingSegments:  in.cfg.WAL.PendingCount(),
@@ -468,6 +592,7 @@ func (in *Ingester) Stats() Stats {
 		DirtyUnpublished: unpub,
 		DurableSeq:       in.cfg.WAL.AppliedSeq(),
 		MemAppliedSeq:    mem,
+		GraphDeltaEdges:  deltaLen,
 		Quarantined:      in.cfg.WAL.Quarantined(),
 	}
 }

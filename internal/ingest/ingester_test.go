@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -232,6 +233,116 @@ func TestIngesterBackpressure(t *testing.T) {
 	}
 	if _, err := in.Submit(recs); !errors.Is(err, ErrBacklog) {
 		t.Fatalf("err = %v, want ErrBacklog", err)
+	}
+}
+
+// TestIngesterBackpressureMeasuresDrainerLag: the backlog that sheds
+// writes is the drainer's lag, not the durable cursor's — without a
+// Persist hook, segments stay on disk forever, and counting them would
+// permanently wedge the write path after MaxPending lifetime batches.
+func TestIngesterBackpressureMeasuresDrainerLag(t *testing.T) {
+	m, _ := testModel(t, 16)
+	in := newIngester(t, m, t.TempDir(), func(c *Config) { c.MaxPending = 2 })
+	// Fill, drain, and repeat well past MaxPending total batches: every
+	// drained cycle must reopen admission even though nothing is pruned.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 2; i++ {
+			if _, err := in.Submit(nonEdges(t, m.Graph(), 1, int64(100*round+i))); err != nil {
+				t.Fatalf("round %d submit %d: %v", round, i, err)
+			}
+		}
+		if _, err := in.Submit(nonEdges(t, m.Graph(), 1, int64(100*round+7))); !errors.Is(err, ErrBacklog) {
+			t.Fatalf("round %d: lagging drainer did not shed: %v", round, err)
+		}
+		if err := in.Replay(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc := in.cfg.WAL.PendingCount(); pc != 6 {
+		t.Fatalf("retained segments = %d, want 6 (nothing pruned without Persist)", pc)
+	}
+	if _, err := in.Submit(nonEdges(t, m.Graph(), 1, 999)); err != nil {
+		t.Fatalf("write path wedged after %d lifetime batches: %v", 6, err)
+	}
+}
+
+// TestIngesterReplayBatchSizeInvariance: the micro-batch size is pinned
+// into each segment at append time, so restarting with a different
+// -ingest-batch replays already-logged segments into byte-identical
+// embeddings (the (seq, batch) fine-tune seeds only reproduce the
+// original update if chunk boundaries match).
+func TestIngesterReplayBatchSizeInvariance(t *testing.T) {
+	dir := t.TempDir()
+	m1, _ := testModel(t, 21)
+	in1 := newIngester(t, m1, dir, func(c *Config) { c.BatchSize = 3 })
+	// 7 records -> chunks of 3+3+1 under the append-time size.
+	if _, err := in1.Submit(nonEdges(t, m1.Graph(), 7, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := in1.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	want := entSnapshot(m1)
+
+	// "Restart" with a much larger configured batch size: the stored
+	// per-segment size must win, or the 7 records fold as one chunk and
+	// every seed/boundary changes.
+	m2, _ := testModel(t, 21)
+	in2 := newIngester(t, m2, dir, func(c *Config) { c.BatchSize = 64 })
+	if err := in2.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	got := entSnapshot(m2)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("replay with changed batch size diverged at %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestIngesterMidSegmentFailureIsFatal: a failure after a chunk's graph
+// mutations landed must not be retried — the landed mutations would
+// replay as no-ops with no fine-tune signal, silently diverging from
+// what a crash-and-replay reconstructs. The drain loop must hand the
+// segment to Fatalf (crash-only) and keep the cursor unmoved.
+func TestIngesterMidSegmentFailureIsFatal(t *testing.T) {
+	m, _ := testModel(t, 27)
+	inj := resil.NewInjector()
+	var fatals []string
+	in := newIngester(t, m, t.TempDir(), func(c *Config) {
+		c.Inject = inj
+		c.Fatalf = func(format string, args ...any) {
+			fatals = append(fatals, fmt.Sprintf(format, args...))
+		}
+	})
+	if _, err := in.Submit(nonEdges(t, m.Graph(), 2, 31)); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Set(FaultStageFineTune, resil.AnyShard, resil.Fault{Kind: resil.KindError, Err: resil.ErrInjected, Count: 1})
+	in.drainOnce()
+	if len(fatals) != 1 {
+		t.Fatalf("fatals = %v, want exactly one crash-only escalation", fatals)
+	}
+	if in.Stats().MemAppliedSeq != 0 {
+		t.Fatal("fatal apply advanced the in-memory cursor")
+	}
+
+	// The same failure during synchronous Replay surfaces as a typed
+	// FatalApplyError so the caller (halk-serve startup) crashes too.
+	// Fresh model and injector: the first attempt's landed mutations would
+	// otherwise make the retry a graph no-op that never reaches the seam.
+	m2, _ := testModel(t, 27)
+	inj2 := resil.NewInjector()
+	in2 := newIngester(t, m2, t.TempDir(), func(c *Config) { c.Inject = inj2 })
+	seq, err := in2.Submit(nonEdges(t, m2.Graph(), 2, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj2.Set(FaultStageFineTune, resil.AnyShard, resil.Fault{Kind: resil.KindError, Err: resil.ErrInjected, Count: 1})
+	var fatal *FatalApplyError
+	if err := in2.Replay(); !errors.As(err, &fatal) || fatal.Seq != seq {
+		t.Fatalf("Replay err = %v, want FatalApplyError for segment %d", err, seq)
 	}
 }
 

@@ -1,0 +1,95 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"github.com/halk-kg/halk/internal/ckpt"
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+// This file implements the durable form of the in-memory fine-tune
+// state: one verified file holding the fine-tuned model checkpoint AND
+// the net graph delta against the pristine base dataset. The pair is
+// what makes WAL.Advance sound — a segment may only be pruned once a
+// state file covering it is on disk, and restoring that file must
+// reproduce the exact (graph, embeddings) pair the drainer had, because
+// the segments it covers are gone:
+//
+//   - Embeddings alone are not enough: the graph is regenerated from the
+//     synthetic dataset at load, so pruned segments' edge mutations
+//     would vanish from it while the embeddings still encode them
+//     (wrong negative filtering, wrong duplicate detection).
+//   - Two files are not enough: a crash between writing them leaves a
+//     (graph, embeddings) pair that never existed. One envelope, one
+//     temp → fsync → rename, no torn state.
+//
+// Crash between SaveState and WAL.Advance is benign: the covered
+// segments are still pending, replaying them onto the restored state
+// finds every mutation already in the graph — a no-op with no fine-tune
+// signal — which is exactly right because the restored embeddings
+// already include their updates.
+
+// StateFileName is the persisted-state entry inside a WAL directory.
+const StateFileName = "state.ckpt"
+
+// StatePath returns the persisted-state path for a WAL directory.
+func StatePath(dir string) string { return filepath.Join(dir, StateFileName) }
+
+// SaveState atomically writes the fine-tuned model plus the net graph
+// delta (Ingester.GraphDelta) as one verified envelope. Call it from
+// the drain goroutine only — it reads the live parameter tensors and
+// the delta ledger, and the drainer is their sole mutator.
+func SaveState(path string, m *halk.Model, dataset string, dataSeed int64, delta []Record) error {
+	err := ckpt.WriteFile(path, func(w io.Writer) error {
+		// The checkpoint payload keeps SaveCheckpoint's exact encoding so
+		// LoadCheckpointFrom reads it unchanged; the delta follows as a
+		// second gob stream (fresh encoder, fresh decoder on read).
+		if err := m.SaveCheckpoint(w, dataset, dataSeed); err != nil {
+			return err
+		}
+		return gob.NewEncoder(w).Encode(delta)
+	})
+	if err != nil {
+		return fmt.Errorf("ingest: save state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores a persisted ingest state: the model is rebuilt
+// over the base graph the lookup provides, its parameters restored, and
+// the stored delta applied to the graph so the (graph, embeddings) pair
+// matches the persist-time state exactly. The returned delta must seed
+// the new Ingester (Config.BaseDelta) so subsequent persists keep
+// accumulating on top of it.
+func LoadState(path string, lookup func(hdr halk.CheckpointHeader) (*kg.Graph, error)) (*halk.Model, halk.CheckpointHeader, []Record, error) {
+	payload, err := ckpt.ReadFile(path)
+	if err != nil {
+		return nil, halk.CheckpointHeader{}, nil, fmt.Errorf("ingest: load state: %w", err)
+	}
+	r := bytes.NewReader(payload)
+	m, hdr, err := halk.LoadCheckpointFrom(gob.NewDecoder(r), lookup)
+	if err != nil {
+		return nil, hdr, nil, fmt.Errorf("ingest: load state: %w", err)
+	}
+	var delta []Record
+	if err := gob.NewDecoder(r).Decode(&delta); err != nil {
+		return nil, hdr, nil, fmt.Errorf("ingest: load state: decode graph delta: %w", err)
+	}
+	g := m.Graph()
+	for _, rec := range delta {
+		switch rec.Op {
+		case OpAdd:
+			g.AddTriple(rec.Triple())
+		case OpRemove:
+			g.RemoveTriple(rec.Triple())
+		default:
+			return nil, hdr, nil, fmt.Errorf("ingest: load state: unknown delta op %d", rec.Op)
+		}
+	}
+	return m, hdr, delta, nil
+}

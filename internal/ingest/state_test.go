@@ -1,0 +1,155 @@
+package ingest
+
+import (
+	"testing"
+
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/kg"
+)
+
+// stateLookup regenerates the synthetic dataset a state header names,
+// the way halk-serve's datasetFor does.
+func stateLookup(t *testing.T) func(hdr halk.CheckpointHeader) (*kg.Graph, error) {
+	t.Helper()
+	return func(hdr halk.CheckpointHeader) (*kg.Graph, error) {
+		return kg.SynthFB237(hdr.Seed).Train, nil
+	}
+}
+
+// TestStatePersistRoundTrip is the durable-ingest core: persisting the
+// fine-tuned state prunes the WAL, and a restart from the state file —
+// not the base checkpoint — reproduces the exact (graph, embeddings)
+// pair, including edges whose segments no longer exist.
+func TestStatePersistRoundTrip(t *testing.T) {
+	const seed = 51
+	dir := t.TempDir()
+	m1, _ := testModel(t, seed)
+	var in1 *Ingester
+	in1 = newIngester(t, m1, dir, func(c *Config) {
+		c.PersistEvery = 1
+		c.Persist = func() error {
+			return SaveState(StatePath(dir), m1, "FB237", seed, in1.GraphDelta())
+		}
+	})
+
+	removed := m1.Graph().Triples()[0]
+	batch := append(nonEdges(t, m1.Graph(), 3, 60), Record{Op: OpRemove, H: removed.H, R: removed.R, T: removed.T})
+	if _, err := in1.Submit(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := in1.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	if ap, pc := in1.cfg.WAL.AppliedSeq(), in1.cfg.WAL.PendingCount(); ap != 1 || pc != 0 {
+		t.Fatalf("persist did not advance/prune: applied=%d pending=%d", ap, pc)
+	}
+	want := entSnapshot(m1)
+
+	// Restart: the segment is gone, so only the state file can rebuild
+	// this. The base checkpoint path would lose the batch entirely.
+	m2, hdr, delta, err := LoadState(StatePath(dir), stateLookup(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Dataset != "FB237" || hdr.Seed != seed {
+		t.Fatalf("state header = %+v", hdr)
+	}
+	if len(delta) != len(batch) {
+		t.Fatalf("restored delta has %d records, want %d", len(delta), len(batch))
+	}
+	got := entSnapshot(m2)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("state restore diverged at %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	for _, r := range batch[:3] {
+		if !m2.Graph().HasTriple(r.H, r.R, r.T) {
+			t.Fatalf("added edge %+v missing from restored graph", r.Triple())
+		}
+	}
+	if m2.Graph().HasTriple(removed.H, removed.R, removed.T) {
+		t.Fatal("removed edge still in restored graph")
+	}
+
+	// Keep ingesting on the restored state: the BaseDelta seed means the
+	// next persist accumulates on top, and a third restart still matches.
+	var in2 *Ingester
+	in2 = newIngester(t, m2, dir, func(c *Config) {
+		c.BaseDelta = delta
+		c.PersistEvery = 1
+		c.Persist = func() error {
+			return SaveState(StatePath(dir), m2, "FB237", seed, in2.GraphDelta())
+		}
+	})
+	if err := in2.Replay(); err != nil { // nothing pending
+		t.Fatal(err)
+	}
+	if _, err := in2.Submit(nonEdges(t, m2.Graph(), 2, 70)); err != nil {
+		t.Fatal(err)
+	}
+	if err := in2.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	want2 := entSnapshot(m2)
+
+	m3, _, delta3, err := LoadState(StatePath(dir), stateLookup(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta3) != len(batch)+2 {
+		t.Fatalf("accumulated delta has %d records, want %d", len(delta3), len(batch)+2)
+	}
+	got2 := entSnapshot(m3)
+	for i := range want2 {
+		if want2[i] != got2[i] {
+			t.Fatalf("second restore diverged at %d", i)
+		}
+	}
+}
+
+// TestStateCrashBetweenPersistAndAdvance: SaveState landed but the WAL
+// cursor did not — the covered segment is still pending. Replaying it
+// onto the restored state must be a pure no-op (every mutation is
+// already in the graph, so no fine-tune signal), leaving the embeddings
+// byte-identical while the cursor catches up.
+func TestStateCrashBetweenPersistAndAdvance(t *testing.T) {
+	const seed = 53
+	dir := t.TempDir()
+	m1, _ := testModel(t, seed)
+	in1 := newIngester(t, m1, dir, nil) // no Persist: segment stays pending
+	batch := nonEdges(t, m1.Graph(), 4, 80)
+	if _, err := in1.Submit(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := in1.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash" after the state write, before WAL.Advance.
+	if err := SaveState(StatePath(dir), m1, "FB237", seed, in1.GraphDelta()); err != nil {
+		t.Fatal(err)
+	}
+	want := entSnapshot(m1)
+
+	m2, _, delta, err := LoadState(StatePath(dir), stateLookup(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := newIngester(t, m2, dir, func(c *Config) { c.BaseDelta = delta })
+	if got := in2.cfg.WAL.Pending(); len(got) != 1 {
+		t.Fatalf("pending = %v, want the covered segment", got)
+	}
+	if err := in2.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	st := in2.Stats()
+	if st.MemAppliedSeq != 1 || st.SkippedEdges != uint64(len(batch)) {
+		t.Fatalf("covered segment did not replay as a no-op: %+v", st)
+	}
+	got := entSnapshot(m2)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("no-op replay mutated embeddings at %d", i)
+		}
+	}
+}

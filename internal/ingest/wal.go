@@ -10,16 +10,20 @@
 // not the model — is the system of record for accepted edges. A
 // submitted batch is durable once its WAL segment is on disk; after a
 // crash the server replays every segment past the durable APPLIED
-// cursor onto the reloaded base checkpoint, and because each segment's
-// fine-tune step is deterministic (seeded by segment sequence), replay
-// reconstructs the pre-crash embeddings bit for bit. The APPLIED cursor
-// only advances — and segments are only pruned — when the caller
-// confirms the model state covering them has itself been made durable.
+// cursor onto the reloaded base — the original checkpoint, or the last
+// persisted state file (SaveState/LoadState) — and because each
+// segment's fine-tune step is deterministic (seeded by segment
+// sequence, with micro-batch boundaries pinned per segment at append
+// time), replay reconstructs the pre-crash embeddings bit for bit. The
+// APPLIED cursor only advances — and segments are only pruned — when
+// the caller confirms the model state covering them has itself been
+// made durable.
 package ingest
 
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -60,8 +64,29 @@ const (
 	appliedName = "APPLIED"
 )
 
+// ErrGap marks a WAL whose segment sequence has a hole below its
+// highest pending segment: a segment that was durably acknowledged is
+// gone (quarantined as corrupt, or deleted out of band). Replaying the
+// segments above the hole would fabricate a model state that never
+// existed — the durability and bit-identical-replay contracts are
+// already broken — so Open refuses instead of continuing past it. The
+// operator must restore the missing segment (its `.bad` twin, a backup)
+// or explicitly discard the log.
+var ErrGap = errors.New("ingest: wal segment sequence gap")
+
+// segPayload is the gob payload of one segment: the records plus the
+// fine-tune micro-batch size pinned at append time. Replay splits the
+// segment into the same micro-batches it was first applied with, so the
+// reconstruction is bit-identical even if -ingest-batch changes across
+// restarts.
+type segPayload struct {
+	BatchSize int
+	Recs      []Record
+}
+
 // WAL is the crash-safe edge log. Each Append writes one segment file
-// (`wal-<seq>.wal`) holding the gob-encoded records inside a ckpt
+// (`wal-<seq>.wal`) holding the gob-encoded payload — the records plus
+// the micro-batch size they are applied with — inside a ckpt
 // envelope (magic + version + CRC-32C footer) via the same
 // temp → fsync → rename discipline as checkpoints: a crash mid-append
 // publishes nothing — the torn temp file is ignored and removed on the
@@ -86,6 +111,14 @@ type WAL struct {
 // or missing APPLIED manifest resets the cursor to 0 — replaying
 // already-applied segments is safe because segment application is
 // deterministic and replay always starts from the durable base model.
+//
+// A quarantined (or missing) segment *below* the highest pending one is
+// a hole in the replay sequence: Open fails with ErrGap rather than
+// silently dropping acknowledged edges and applying the segments above
+// them. A corrupt *newest* segment leaves no hole — the log truncates to
+// a valid prefix (the pre-batch state), which still loses that batch to
+// bit rot but never diverges replay; it is quarantined and surfaced via
+// Quarantined.
 func OpenWAL(dir string) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ingest: open wal: %w", err)
@@ -95,6 +128,7 @@ func OpenWAL(dir string) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ingest: open wal: %w", err)
 	}
+	manifestLost := false // APPLIED existed but was corrupt: true floor unknown
 	for _, e := range entries {
 		name := e.Name()
 		switch {
@@ -106,11 +140,13 @@ func OpenWAL(dir string) (*WAL, error) {
 			raw, err := ckpt.ReadFile(filepath.Join(dir, name))
 			if err != nil {
 				w.quarantine(name)
+				manifestLost = true
 				continue
 			}
 			var seq uint64
 			if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&seq); err != nil {
 				w.quarantine(name)
+				manifestLost = true
 				continue
 			}
 			w.applied = seq
@@ -143,6 +179,27 @@ func OpenWAL(dir string) (*WAL, error) {
 	if w.applied >= w.nextSeq {
 		w.nextSeq = w.applied + 1
 	}
+	// Refuse holes below the highest pending segment. Sequences are dense
+	// by construction (Append consumes a sequence only on a successful
+	// publish) and pruning removes only segments at or below the APPLIED
+	// cursor, so with a trusted cursor the survivors must be exactly
+	// applied+1 .. max. When the cursor itself was quarantined the true
+	// replay floor is unknown — legitimately pruned segments are
+	// indistinguishable from lost ones — so only internal contiguity can
+	// be checked.
+	if len(w.pending) > 0 {
+		expect := w.applied + 1
+		if manifestLost {
+			expect = w.pending[0]
+		}
+		for _, seq := range w.pending {
+			if seq != expect {
+				return nil, fmt.Errorf("%w: segment %d is missing below pending segment %d in %s (quarantined as corrupt, or deleted); restore it or discard the log",
+					ErrGap, expect, w.pending[len(w.pending)-1], dir)
+			}
+			expect++
+		}
+	}
 	return w, nil
 }
 
@@ -156,9 +213,11 @@ func (w *WAL) segPath(seq uint64) string {
 }
 
 // Append durably logs one batch of records as the next segment and
-// returns its sequence number. The write is crash-atomic: either the
-// whole segment is published or nothing is.
-func (w *WAL) Append(recs []Record) (uint64, error) {
+// returns its sequence number. batchSize is the fine-tune micro-batch
+// size stored with the segment so every future replay splits it
+// identically. The write is crash-atomic: either the whole segment is
+// published or nothing is.
+func (w *WAL) Append(recs []Record, batchSize int) (uint64, error) {
 	if len(recs) == 0 {
 		return 0, fmt.Errorf("ingest: empty batch")
 	}
@@ -166,7 +225,7 @@ func (w *WAL) Append(recs []Record) (uint64, error) {
 	defer w.mu.Unlock()
 	seq := w.nextSeq
 	err := ckpt.WriteFile(w.segPath(seq), func(f io.Writer) error {
-		return gob.NewEncoder(f).Encode(recs)
+		return gob.NewEncoder(f).Encode(segPayload{BatchSize: batchSize, Recs: recs})
 	})
 	if err != nil {
 		return 0, fmt.Errorf("ingest: append segment %d: %w", seq, err)
@@ -176,17 +235,18 @@ func (w *WAL) Append(recs []Record) (uint64, error) {
 	return seq, nil
 }
 
-// Load reads and verifies one segment's records.
-func (w *WAL) Load(seq uint64) ([]Record, error) {
+// Load reads and verifies one segment, returning its records and the
+// micro-batch size it was appended with.
+func (w *WAL) Load(seq uint64) ([]Record, int, error) {
 	raw, err := ckpt.ReadFile(w.segPath(seq))
 	if err != nil {
-		return nil, fmt.Errorf("ingest: load segment %d: %w", seq, err)
+		return nil, 0, fmt.Errorf("ingest: load segment %d: %w", seq, err)
 	}
-	var recs []Record
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&recs); err != nil {
-		return nil, fmt.Errorf("ingest: decode segment %d: %w", seq, err)
+	var seg segPayload
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&seg); err != nil {
+		return nil, 0, fmt.Errorf("ingest: decode segment %d: %w", seq, err)
 	}
-	return recs, nil
+	return seg.Recs, seg.BatchSize, nil
 }
 
 // Pending returns the sequences past the durable APPLIED cursor, in
@@ -202,6 +262,18 @@ func (w *WAL) PendingCount() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return len(w.pending)
+}
+
+// PendingCountAfter reports how many pending segments have sequences
+// strictly greater than seq — with the in-memory apply cursor as seq,
+// the segments the drainer has not yet folded into the model. This is
+// the admission-control backlog: segments the drainer *has* applied but
+// that await a durable persist do not delay writes, only pruning.
+func (w *WAL) PendingCountAfter(seq uint64) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := sort.Search(len(w.pending), func(i int) bool { return w.pending[i] > seq })
+	return len(w.pending) - i
 }
 
 // AppliedSeq reports the durable APPLIED cursor: every segment at or

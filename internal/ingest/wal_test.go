@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,7 +32,7 @@ func TestWALRoundTrip(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		recs := testRecords(4+i, i*10)
 		want = append(want, recs)
-		seq, err := w.Append(recs)
+		seq, err := w.Append(recs, 16)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -39,7 +40,7 @@ func TestWALRoundTrip(t *testing.T) {
 			t.Fatalf("seq = %d, want %d", seq, i+1)
 		}
 	}
-	if _, err := w.Append(nil); err == nil {
+	if _, err := w.Append(nil, 16); err == nil {
 		t.Fatal("empty append accepted")
 	}
 
@@ -53,9 +54,12 @@ func TestWALRoundTrip(t *testing.T) {
 		t.Fatalf("pending = %v, want 3 segments", pend)
 	}
 	for i, seq := range pend {
-		got, err := w2.Load(seq)
+		got, batch, err := w2.Load(seq)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if batch != 16 {
+			t.Fatalf("segment %d: batch size = %d, want 16", seq, batch)
 		}
 		if len(got) != len(want[i]) {
 			t.Fatalf("segment %d: %d records, want %d", seq, len(got), len(want[i]))
@@ -75,7 +79,7 @@ func TestWALAdvance(t *testing.T) {
 	dir := t.TempDir()
 	w, _ := OpenWAL(dir)
 	for i := 0; i < 4; i++ {
-		if _, err := w.Append(testRecords(2, i)); err != nil {
+		if _, err := w.Append(testRecords(2, i), 16); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -118,7 +122,7 @@ func TestWALAdvance(t *testing.T) {
 func TestWALCrashMidAppend(t *testing.T) {
 	dir := t.TempDir()
 	w, _ := OpenWAL(dir)
-	if _, err := w.Append(testRecords(3, 0)); err != nil {
+	if _, err := w.Append(testRecords(3, 0), 16); err != nil {
 		t.Fatal(err)
 	}
 	torn := filepath.Join(dir, "wal-0000000000000002.wal.tmp-123456")
@@ -139,7 +143,7 @@ func TestWALCrashMidAppend(t *testing.T) {
 		t.Fatalf("temp sweep counted as quarantine: %d", w2.Quarantined())
 	}
 	// The next append takes the sequence the torn write would have used.
-	seq, err := w2.Append(testRecords(1, 5))
+	seq, err := w2.Append(testRecords(1, 5), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,10 +159,10 @@ func TestWALTruncateAdversarial(t *testing.T) {
 	mkdir := func(t *testing.T) (string, []byte) {
 		dir := t.TempDir()
 		w, _ := OpenWAL(dir)
-		if _, err := w.Append(testRecords(3, 0)); err != nil {
+		if _, err := w.Append(testRecords(3, 0), 16); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := w.Append(testRecords(3, 10)); err != nil {
+		if _, err := w.Append(testRecords(3, 10), 16); err != nil {
 			t.Fatal(err)
 		}
 		raw, err := os.ReadFile(w.segPath(2))
@@ -190,7 +194,7 @@ func TestWALTruncateAdversarial(t *testing.T) {
 			t.Fatalf("cut=%d: no .bad file: %v", cut, err)
 		}
 		// The healthy segment still loads.
-		if _, err := w.Load(1); err != nil {
+		if _, _, err := w.Load(1); err != nil {
 			t.Fatalf("cut=%d: healthy segment lost: %v", cut, err)
 		}
 	}
@@ -202,7 +206,7 @@ func TestWALTruncateAdversarial(t *testing.T) {
 func TestWALBitFlipAdversarial(t *testing.T) {
 	dir := t.TempDir()
 	w, _ := OpenWAL(dir)
-	if _, err := w.Append(testRecords(3, 0)); err != nil {
+	if _, err := w.Append(testRecords(3, 0), 16); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(w.segPath(1))
@@ -226,16 +230,93 @@ func TestWALBitFlipAdversarial(t *testing.T) {
 	}
 }
 
+// TestWALGapRefusesOpen: a segment missing below the highest pending
+// one — corrupted (and so quarantined) or deleted out of band — is a
+// hole in the replay sequence. Continuing past it would drop edges that
+// were acknowledged as durable while still applying later segments, so
+// Open must fail with ErrGap instead of starting. A corrupt *newest*
+// segment leaves no hole (the log truncates to a valid prefix) and
+// keeps the quarantine behavior — TestWALTruncateAdversarial covers it.
+func TestWALGapRefusesOpen(t *testing.T) {
+	mk := func(t *testing.T, advance uint64) string {
+		dir := t.TempDir()
+		w, err := OpenWAL(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := w.Append(testRecords(2, i*10), 16); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if advance > 0 {
+			if err := w.Advance(advance); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+
+	t.Run("mid-sequence corruption", func(t *testing.T) {
+		dir := mk(t, 0)
+		seg := filepath.Join(dir, "wal-0000000000000002.wal")
+		raw, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x40
+		if err := os.WriteFile(seg, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenWAL(dir); !errors.Is(err, ErrGap) {
+			t.Fatalf("open with corrupt mid-sequence segment: err = %v, want ErrGap", err)
+		}
+	})
+
+	t.Run("mid-sequence deletion", func(t *testing.T) {
+		dir := mk(t, 0)
+		if err := os.Remove(filepath.Join(dir, "wal-0000000000000002.wal")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenWAL(dir); !errors.Is(err, ErrGap) {
+			t.Fatalf("open with deleted mid-sequence segment: err = %v, want ErrGap", err)
+		}
+	})
+
+	t.Run("hole at the replay floor", func(t *testing.T) {
+		// APPLIED = 1 is intact, so the first pending segment must be 2;
+		// losing it is a gap even though the survivors are contiguous.
+		dir := mk(t, 1)
+		if err := os.Remove(filepath.Join(dir, "wal-0000000000000002.wal")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenWAL(dir); !errors.Is(err, ErrGap) {
+			t.Fatalf("open with hole above the APPLIED cursor: err = %v, want ErrGap", err)
+		}
+	})
+
+	t.Run("contiguous survivors still open", func(t *testing.T) {
+		dir := mk(t, 1)
+		w, err := OpenWAL(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := w.Pending(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+			t.Fatalf("pending = %v, want [2 3]", got)
+		}
+	})
+}
+
 // TestWALCorruptAppliedCursor resets a damaged APPLIED manifest to 0:
 // the safe direction, since replaying already-applied segments onto the
 // restored base model is deterministic and idempotent.
 func TestWALCorruptAppliedCursor(t *testing.T) {
 	dir := t.TempDir()
 	w, _ := OpenWAL(dir)
-	if _, err := w.Append(testRecords(2, 0)); err != nil {
+	if _, err := w.Append(testRecords(2, 0), 16); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.Append(testRecords(2, 5)); err != nil {
+	if _, err := w.Append(testRecords(2, 5), 16); err != nil {
 		t.Fatal(err)
 	}
 	// Advance without pruning reach: cursor = 1 prunes segment 1 only.
