@@ -220,3 +220,80 @@ func BenchmarkShardedDistances(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBatchedDistances compares batched exact ranking against a
+// sequential loop of single-query scans on the same engine: each op
+// ranks the same 8 mixed-structure queries, either one Engine.TopK at a
+// time or through one Engine.RankBatch, which prepares the batch once
+// and sweeps every cache-resident entity block for all queries before
+// moving on. Answers are bit-identical (see shard.TestRankBatchIdentity);
+// the difference is per-scan overhead and memory traffic.
+func BenchmarkBatchedDistances(b *testing.B) {
+	ds := kg.SynthFB15k(3)
+	cfg := halk.DefaultConfig(3)
+	cfg.Dim, cfg.Hidden = 64, 64
+	m := halk.New(ds.Train, cfg)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(4)))
+	const k = 10
+
+	p := shard.Params{Dim: cfg.Dim, Rho: cfg.Rho, Eta: cfg.Eta, Xi: cfg.Xi}
+	var items []shard.BatchItem
+	for _, structure := range []string{"2i", "1p", "pi", "2p", "2i", "3i", "1p", "pi"} {
+		q, ok := s.Sample(structure)
+		if !ok {
+			b.Fatalf("sampling %s failed", structure)
+		}
+		var arcs []shard.Arc
+		for _, a := range m.EmbedQuery(q) {
+			arcs = append(arcs, shard.PrepareArc(p, a.C, a.L, a.Hot))
+		}
+		items = append(items, shard.BatchItem{Arcs: arcs, K: k})
+	}
+	group := make([]int32, ds.Train.NumEntities())
+	for e := range group {
+		group[e] = int32(m.Grouping().GroupOf(kg.EntityID(e)))
+	}
+	angles := make([]float64, ds.Train.NumEntities()*cfg.Dim)
+	for e := 0; e < ds.Train.NumEntities(); e++ {
+		copy(angles[e*cfg.Dim:], m.EntityAngles(kg.EntityID(e)))
+	}
+
+	ctx := context.Background()
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		counts = append(counts, p)
+	}
+	for _, n := range counts {
+		eng := shard.NewEngine(p, shard.Options{Shards: n})
+		if err := eng.Swap(shard.Source{Angles: angles, Group: group, Version: 1}); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("sequential/shards=%d", n), func(b *testing.B) {
+			if _, err := eng.TopK(ctx, items[0].Arcs, k); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, it := range items {
+					if _, err := eng.TopK(ctx, it.Arcs, it.K); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batch=8/shards=%d", n), func(b *testing.B) {
+			if _, err := eng.RankBatch(ctx, items); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RankBatch(ctx, items); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		eng.Close()
+	}
+}

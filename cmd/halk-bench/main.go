@@ -91,6 +91,7 @@ func main() {
 		{"Observation", s.Observation}, {"Cardinality", s.Cardinality},
 		{"Table Ext", func() *bench.Table { return s.TableExtended("FB237") }},
 		{"Sharding", s.Sharding},
+		{"BatchMix", s.BatchMix},
 		{"IngestMix", s.IngestMix},
 	}
 	ran := 0

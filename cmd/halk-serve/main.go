@@ -162,6 +162,7 @@ func main() {
 		cache    = flag.Int("cache", serve.DefaultCacheSize, "answer-cache capacity in entries (negative disables)")
 		k        = flag.Int("k", 10, "default number of answers when a request omits k")
 		maxK     = flag.Int("maxk", 1000, "cap on per-request k")
+		maxBatch = flag.Int("max-batch", serve.DefaultMaxBatch, "cap on the query count of one POST /v1/batch request")
 		timeout  = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		approx   = flag.Bool("approx", false, "build the ANN answer index and enable \"mode\": \"approx\"")
 		shards   = flag.Int("shards", 0, "shard the entity table and serve exact queries through the scatter-gather engine (0 = single-threaded full scan)")
@@ -289,6 +290,7 @@ func main() {
 		CacheSize:      *cache,
 		DefaultK:       *k,
 		MaxK:           *maxK,
+		MaxBatch:       *maxBatch,
 		DefaultTimeout: *timeout,
 		Metrics:        reg,
 		SlowQuery:      *slowQ,

@@ -9,6 +9,7 @@ package ann
 import (
 	"math"
 	"math/rand"
+	"slices"
 
 	"github.com/halk-kg/halk/internal/geometry"
 	"github.com/halk-kg/halk/internal/kg"
@@ -92,10 +93,21 @@ func (b *band) numBuckets() int {
 
 // Candidates returns the union of entities sharing a bucket (or an
 // adjacent bucket within the given angular radius) with the query center
-// on any band. The result is a superset candidate pool for exact
-// ranking; it may miss true neighbours (LSH is approximate).
+// on any band, sorted ascending. The result is a superset candidate pool
+// for exact ranking; it may miss true neighbours (LSH is approximate).
 func (ix *Index) Candidates(center []float64, radius float64) []kg.EntityID {
-	seen := make(map[kg.EntityID]struct{})
+	out := ix.AppendCandidates(nil, center, radius)
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// AppendCandidates appends the bucket probes' entities to dst and
+// returns it — the allocation-free form of Candidates for callers that
+// pool the buffer. The result is NOT deduplicated or sorted: an entity
+// bucketed near the center on several bands appears once per band, so
+// callers must sort + compact (which also makes the scan order
+// deterministic, unlike the map-based dedup this replaces).
+func (ix *Index) AppendCandidates(dst []kg.EntityID, center []float64, radius float64) []kg.EntityID {
 	for _, b := range ix.bands {
 		if b.dim >= len(center) {
 			continue
@@ -103,19 +115,21 @@ func (ix *Index) Candidates(center []float64, radius float64) []kg.EntityID {
 		theta := center[b.dim]
 		spread := int(math.Ceil(radius/b.width)) + 1
 		n := b.numBuckets()
+		if 2*spread+1 >= n {
+			// The probe window wraps the whole circle: visit each bucket
+			// exactly once instead of re-appending wrapped duplicates.
+			for k := 0; k < n; k++ {
+				dst = append(dst, b.buckets[k]...)
+			}
+			continue
+		}
 		base := b.key(theta)
 		for off := -spread; off <= spread; off++ {
 			k := ((base+off)%n + n) % n
-			for _, e := range b.buckets[k] {
-				seen[e] = struct{}{}
-			}
+			dst = append(dst, b.buckets[k]...)
 		}
 	}
-	out := make([]kg.EntityID, 0, len(seen))
-	for e := range seen {
-		out = append(out, e)
-	}
-	return out
+	return dst
 }
 
 // Len returns the number of indexed entities.

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+// batchSizes is the batch-size sweep of the BatchMix experiment.
+var batchSizes = []int{4, 16, 64}
+
+// BatchMix measures batched query evaluation against one-at-a-time
+// ranking on the same sharded engine: a mixed-structure workload is
+// ranked once sequentially through RankTopK and once through RankBatch
+// at several batch sizes. Both paths run the identical blocked scan
+// kernel; batching amortises the per-scan snapshot and scatter overhead
+// and sweeps each cache-resident entity block for the whole batch
+// before moving on, so its win is memory traffic, not algorithm. The
+// agreement column checks the contract that batching never changes an
+// answer.
+func (s *Suite) BatchMix() *Table {
+	const k = 10
+	ds := s.Dataset("FB237")
+	m, _ := s.Model(ds, "HaLk")
+	hk := m.(*halk.Model)
+
+	// A mixed workload, interleaved so every batch carries several
+	// structures (the serving-path shape: callers batch whatever they
+	// have, not one structure at a time).
+	var w []query.Query
+	structures := []string{"1p", "2i", "pi"}
+	per := make([][]query.Query, len(structures))
+	for i, st := range structures {
+		per[i] = s.Workload(ds, st)
+	}
+	for j := 0; ; j++ {
+		added := false
+		for i := range per {
+			if j < len(per[i]) {
+				w = append(w, per[i][j])
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+
+	shards := 2
+	if s.cfg.Shards > 0 {
+		shards = s.cfg.Shards
+	}
+	t := &Table{
+		ID: "BatchMix",
+		Title: fmt.Sprintf("Batched vs sequential exact top-%d ranking (%s, mixed 1p/2i/pi, %d queries, shards=%d, GOMAXPROCS=%d)",
+			k, ds.Name, len(w), shards, runtime.GOMAXPROCS(0)),
+		Header: []string{"Path", "Batch", "µs/query", "Speedup", "Agree"},
+	}
+
+	r, err := hk.NewShardedRanker(shard.Options{Shards: shards})
+	if err != nil {
+		s.logf("batchmix: %v", err)
+		return t
+	}
+	defer r.Close()
+	ctx := context.Background()
+
+	// Sequential baseline: the same queries one RankTopK at a time.
+	if _, err := r.RankTopK(ctx, w[0].Root, k); err != nil { // warm
+		s.logf("batchmix: warm query: %v", err)
+		return t
+	}
+	baseline := make([]*shard.Result, len(w))
+	start := time.Now()
+	for i := range w {
+		res, err := r.RankTopK(ctx, w[i].Root, k)
+		if err != nil {
+			s.logf("batchmix: query %d: %v", i, err)
+			return t
+		}
+		baseline[i] = res
+	}
+	perBase := float64(time.Since(start).Microseconds()) / float64(len(w))
+	t.Rows = append(t.Rows, []string{"sequential", "1", fmt.Sprintf("%.0f", perBase), "1.00x", "yes"})
+
+	for _, bs := range batchSizes {
+		agree := true
+		start := time.Now()
+		for lo := 0; lo < len(w); lo += bs {
+			hi := lo + bs
+			if hi > len(w) {
+				hi = len(w)
+			}
+			roots := make([]*query.Node, hi-lo)
+			ks := make([]int, hi-lo)
+			for i := range roots {
+				roots[i] = w[lo+i].Root
+				ks[i] = k
+			}
+			results, err := r.RankBatch(ctx, roots, ks)
+			if err != nil {
+				s.logf("batchmix: batch=%d at %d: %v", bs, lo, err)
+				agree = false
+				continue
+			}
+			for i, res := range results {
+				want := baseline[lo+i]
+				if len(res.IDs) != len(want.IDs) {
+					agree = false
+					continue
+				}
+				for j := range want.IDs {
+					if res.IDs[j] != want.IDs[j] || res.Dists[j] != want.Dists[j] {
+						agree = false
+					}
+				}
+			}
+		}
+		per := float64(time.Since(start).Microseconds()) / float64(len(w))
+		ok := "yes"
+		if !agree {
+			ok = "NO"
+		}
+		t.Rows = append(t.Rows, []string{
+			"batched", fmt.Sprintf("%d", bs), fmt.Sprintf("%.0f", per),
+			fmt.Sprintf("%.2fx", perBase/per), ok,
+		})
+	}
+	return t
+}

@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestBatchMixExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	s := quickSuite(t)
+	tbl := s.BatchMix()
+	if len(tbl.Rows) != 1+len(batchSizes) {
+		t.Fatalf("BatchMix rows = %d, want %d: %v", len(tbl.Rows), 1+len(batchSizes), tbl.Rows)
+	}
+	if tbl.Rows[0][0] != "sequential" {
+		t.Fatalf("first row must be the sequential baseline: %v", tbl.Rows[0])
+	}
+	for i, row := range tbl.Rows {
+		if row[4] != "yes" {
+			t.Errorf("row %d (%s batch=%s) disagreed with the sequential baseline: %v",
+				i, row[0], row[1], row)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package halk
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+// The kernel-identity suite is the byte-identity contract of the
+// blocked scan kernel, run in CI across Go versions and GOAMD64 levels:
+// for every named query structure of the paper (1p…3ippd, including
+// negation and difference), the blocked float32-filtered kernel and the
+// batched rank path must return bit-identical distances and identical
+// IDs to the scalar float64 reference scan (Options.ScalarKernel) and
+// to the single-threaded full scan Model.TopK. Any FMA contraction,
+// rounding-mode, or vector-width divergence that changed an answer
+// would trip the Float64bits comparisons here.
+
+// identityStructures is the full structure matrix the identity suite
+// sweeps: every EPFO+difference structure, every negation structure and
+// every large structure — 1p through 3ippd.
+func identityStructures() []string {
+	var out []string
+	out = append(out, query.EPFOStructures...)
+	out = append(out, query.NegationStructures...)
+	out = append(out, query.LargeStructures...)
+	return out
+}
+
+// rankBothKernels ranks q at k through a blocked and a scalar-pinned
+// engine over the same model state and fails unless the two results are
+// bit-identical; it returns the blocked result for further checks.
+func rankBothKernels(t *testing.T, m *Model, shards int, q *query.Node, k int, structure string) *shard.Result {
+	t.Helper()
+	blocked, err := m.NewShardedRanker(shard.Options{Shards: shards})
+	if err != nil {
+		t.Fatalf("NewShardedRanker: %v", err)
+	}
+	defer blocked.Close()
+	scalar, err := m.NewShardedRanker(shard.Options{Shards: shards, ScalarKernel: true})
+	if err != nil {
+		t.Fatalf("NewShardedRanker(scalar): %v", err)
+	}
+	defer scalar.Close()
+
+	bres, err := blocked.RankTopK(context.Background(), q, k)
+	if err != nil {
+		t.Fatalf("%s shards=%d: blocked RankTopK: %v", structure, shards, err)
+	}
+	sres, err := scalar.RankTopK(context.Background(), q, k)
+	if err != nil {
+		t.Fatalf("%s shards=%d: scalar RankTopK: %v", structure, shards, err)
+	}
+	if bres.Partial || sres.Partial {
+		t.Fatalf("%s shards=%d: unexpected partial result", structure, shards)
+	}
+	if len(bres.IDs) != len(sres.IDs) {
+		t.Fatalf("%s shards=%d: blocked returned %d answers, scalar %d", structure, shards, len(bres.IDs), len(sres.IDs))
+	}
+	for i := range sres.IDs {
+		if bres.IDs[i] != sres.IDs[i] {
+			t.Fatalf("%s shards=%d: rank %d = entity %d, scalar ranked %d", structure, shards, i, bres.IDs[i], sres.IDs[i])
+		}
+		if math.Float64bits(bres.Dists[i]) != math.Float64bits(sres.Dists[i]) {
+			t.Fatalf("%s shards=%d: rank %d dist %v differs from scalar %v by %g",
+				structure, shards, i, bres.Dists[i], sres.Dists[i], bres.Dists[i]-sres.Dists[i])
+		}
+	}
+	return bres
+}
+
+// TestKernelIdentityStructureMatrix sweeps the full structure matrix:
+// blocked kernel == scalar kernel == Model.TopK, bit for bit, at shard
+// counts that do and do not divide the entity count.
+func TestKernelIdentityStructureMatrix(t *testing.T) {
+	m, ds := testModel(t, 81)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(82)))
+	const k = 12
+	for _, structure := range identityStructures() {
+		q, ok := s.Sample(structure)
+		if !ok {
+			t.Fatalf("sampling %s failed", structure)
+		}
+		want := m.TopK(q, k)
+		dist := m.Distances(q)
+		for _, shards := range []int{1, 3} {
+			got := rankBothKernels(t, m, shards, q, k, structure)
+			if len(got.IDs) != len(want) {
+				t.Fatalf("%s shards=%d: %d answers, want %d", structure, shards, len(got.IDs), len(want))
+			}
+			for i := range want {
+				if got.IDs[i] != want[i] {
+					t.Fatalf("%s shards=%d: rank %d = %d, full scan ranked %d", structure, shards, i, got.IDs[i], want[i])
+				}
+				if math.Float64bits(got.Dists[i]) != math.Float64bits(dist[want[i]]) {
+					t.Fatalf("%s shards=%d: rank %d dist %v, full scan %v", structure, shards, i, got.Dists[i], dist[want[i]])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelIdentityBatch proves the batched rank path changes no
+// answers: RankBatch over a mixed-structure batch must return, per
+// item, exactly what RankTopK returns for that query alone, on both
+// kernels, bit for bit.
+func TestKernelIdentityBatch(t *testing.T) {
+	m, ds := testModel(t, 83)
+	s := query.NewSampler(ds.Train, rand.New(rand.NewSource(84)))
+	structures := []string{"1p", "2p", "2i", "3i", "pi", "2u", "2d", "2in", "pni", "3ippd"}
+	roots := make([]*query.Node, 0, len(structures))
+	ks := make([]int, 0, len(structures))
+	for i, structure := range structures {
+		q, ok := s.Sample(structure)
+		if !ok {
+			t.Fatalf("sampling %s failed", structure)
+		}
+		roots = append(roots, q)
+		ks = append(ks, 3+2*i)
+	}
+	for _, scalarKernel := range []bool{false, true} {
+		for _, shards := range []int{1, 4} {
+			r, err := m.NewShardedRanker(shard.Options{Shards: shards, ScalarKernel: scalarKernel})
+			if err != nil {
+				t.Fatalf("NewShardedRanker: %v", err)
+			}
+			batch, err := r.RankBatch(context.Background(), roots, ks)
+			if err != nil {
+				t.Fatalf("RankBatch: %v", err)
+			}
+			if len(batch) != len(roots) {
+				t.Fatalf("RankBatch returned %d results for %d queries", len(batch), len(roots))
+			}
+			for i := range roots {
+				lone, err := r.RankTopK(context.Background(), roots[i], ks[i])
+				if err != nil {
+					t.Fatalf("RankTopK: %v", err)
+				}
+				if len(batch[i].IDs) != len(lone.IDs) {
+					t.Fatalf("%s: batch %d answers, lone %d", structures[i], len(batch[i].IDs), len(lone.IDs))
+				}
+				for j := range lone.IDs {
+					if batch[i].IDs[j] != lone.IDs[j] {
+						t.Fatalf("%s scalar=%v shards=%d: batch rank %d = %d, lone %d",
+							structures[i], scalarKernel, shards, j, batch[i].IDs[j], lone.IDs[j])
+					}
+					if math.Float64bits(batch[i].Dists[j]) != math.Float64bits(lone.Dists[j]) {
+						t.Fatalf("%s scalar=%v shards=%d: batch rank %d dist %v, lone %v",
+							structures[i], scalarKernel, shards, j, batch[i].Dists[j], lone.Dists[j])
+					}
+				}
+			}
+			r.Close()
+		}
+	}
+
+	// Argument-shape validation.
+	r, err := m.NewShardedRanker(shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatalf("NewShardedRanker: %v", err)
+	}
+	defer r.Close()
+	if _, err := r.RankBatch(context.Background(), roots, ks[:1]); err == nil {
+		t.Error("mismatched roots/ks lengths: want error")
+	}
+}

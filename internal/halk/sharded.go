@@ -2,6 +2,7 @@ package halk
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"github.com/halk-kg/halk/internal/kg"
@@ -106,6 +107,33 @@ func (r *ShardedRanker) RankTopK(ctx context.Context, n *query.Node, k int) (*sh
 	arcs := r.prepare(n)
 	obs.FromContext(ctx).Observe(obs.StagePrepareArcs, time.Since(begin))
 	return r.eng.TopK(ctx, arcs, k)
+}
+
+// RankBatch embeds and ranks many queries in one shard gather: all
+// queries are prepared under a single ranking read-lock, then every
+// shard runs one scan that sweeps the whole batch through each entity
+// block in turn (see shard.Engine.RankBatch). ks[i] is query i's K;
+// len(ks) must equal len(roots). Each returned Result is bit-identical
+// to RankTopK(ctx, roots[i], ks[i]) against the same snapshot —
+// batching changes memory traffic, never answers.
+func (r *ShardedRanker) RankBatch(ctx context.Context, roots []*query.Node, ks []int) ([]*shard.Result, error) {
+	if len(roots) != len(ks) {
+		return nil, fmt.Errorf("halk: RankBatch got %d queries but %d k values", len(roots), len(ks))
+	}
+	begin := time.Now()
+	items := make([]shard.BatchItem, len(roots))
+	r.m.rankMu.RLock()
+	for i, n := range roots {
+		arcs := r.m.EmbedQuery(n)
+		pre := make([]shard.Arc, len(arcs))
+		for j, a := range arcs {
+			pre[j] = r.m.prepareArc(a)
+		}
+		items[i] = shard.BatchItem{Arcs: pre, K: ks[i]}
+	}
+	r.m.rankMu.RUnlock()
+	obs.FromContext(ctx).Observe(obs.StagePrepareArcs, time.Since(begin))
+	return r.eng.RankBatch(ctx, items)
 }
 
 // RankTopKApprox is the ANN-accelerated variant: each shard ranks only

@@ -21,7 +21,13 @@ type metrics struct {
 	endpoints map[string]*endpointMetrics
 	stages    map[string]*obs.Histogram
 	poolSizes *obs.Histogram
-	slow      *obs.Counter
+	// batchSizes distributes /v1/batch request sizes in queries;
+	// batchQueries and batchCached count the queries inside batches and
+	// how many of them the answer cache covered.
+	batchSizes   *obs.Histogram
+	batchQueries *obs.Counter
+	batchCached  *obs.Counter
+	slow         *obs.Counter
 	// workerPanics counts panics recovered on pool workers (the request
 	// got a 500); handlerPanics counts panics recovered at the HTTP
 	// middleware (e.g. a poisoned cache layer).
@@ -42,7 +48,13 @@ func newMetrics(reg *obs.Registry) *metrics {
 		endpoints: make(map[string]*endpointMetrics),
 		stages:    make(map[string]*obs.Histogram),
 		poolSizes: reg.Histogram("halk_approx_pool_size", "Candidate-pool sizes of approx-mode queries.", obs.SizeBuckets),
-		slow:      reg.Counter("halk_slow_queries_total", "Queries slower than the slow-query threshold."),
+		batchSizes: reg.Histogram("halk_batch_size",
+			"Query counts of /v1/batch requests.", obs.SizeBuckets),
+		batchQueries: reg.Counter("halk_batch_queries_total",
+			"Queries received inside /v1/batch requests."),
+		batchCached: reg.Counter("halk_batch_cache_hits_total",
+			"Batch queries answered from the cache without ranking."),
+		slow: reg.Counter("halk_slow_queries_total", "Queries slower than the slow-query threshold."),
 		workerPanics: reg.Counter("halk_panics_total",
 			"Panics recovered while serving, by recovery site.", obs.L("where", "worker")),
 		handlerPanics: reg.Counter("halk_panics_total",
@@ -101,6 +113,14 @@ func (mt *metrics) stage(name string) *obs.Histogram {
 // observePool records the candidate-pool size of one approx-mode query.
 func (mt *metrics) observePool(size int) {
 	mt.poolSizes.Observe(float64(size))
+}
+
+// observeBatch records one /v1/batch request: its query count and how
+// many of those queries the answer cache covered.
+func (mt *metrics) observeBatch(size, cached int) {
+	mt.batchSizes.Observe(float64(size))
+	mt.batchQueries.Add(uint64(size))
+	mt.batchCached.Add(uint64(cached))
 }
 
 // endpointSnapshot is the /v1/stats view of one endpoint.

@@ -154,11 +154,19 @@ type Config struct {
 	// MaxBodyBytes caps every mutating request body (/v1/query,
 	// /v1/edges); an oversized body is refused with 413. 0 means 1 MiB.
 	MaxBodyBytes int64
+	// MaxBatch caps the query count of one POST /v1/batch request; an
+	// oversized batch is refused with 400. 0 means DefaultMaxBatch.
+	MaxBatch int
 }
 
 // DefaultCacheSize is the answer-cache capacity when Config leaves
 // CacheSize zero.
 const DefaultCacheSize = 1024
+
+// DefaultMaxBatch is the /v1/batch query-count cap when Config leaves
+// MaxBatch zero: large enough for bulk evaluation sweeps, small enough
+// that one request cannot monopolise a worker for unbounded time.
+const DefaultMaxBatch = 256
 
 // Server is a long-lived query-answering service over one trained model.
 // All methods are safe for concurrent use.
@@ -210,6 +218,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
@@ -237,6 +248,7 @@ func New(cfg Config) (*Server, error) {
 		s.gate = newAdmission(cfg.Workers, cfg.MaxQueueWait, cfg.Metrics)
 	}
 	s.mux.HandleFunc("/v1/query", s.recoverHandler("/v1/query", s.handleQuery))
+	s.mux.HandleFunc("/v1/batch", s.recoverHandler("/v1/batch", s.handleBatch))
 	s.mux.HandleFunc("/v1/edges", s.recoverHandler("/v1/edges", s.handleEdges))
 	s.mux.HandleFunc("/v1/healthz", s.recoverHandler("/v1/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/stats", s.recoverHandler("/v1/stats", s.handleStats))

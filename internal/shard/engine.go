@@ -69,6 +69,13 @@ type Options struct {
 	// PanicLog receives the stack trace of recovered scan panics; nil
 	// means the process-default logger.
 	PanicLog *log.Logger
+	// ScalarKernel pins exact scans to the scalar float64 reference loop:
+	// snapshots skip the blocked float32 planes and every entity is
+	// scored by scoreLocal directly. The blocked kernel rescores all
+	// retained entities through the same scalar loop, so both paths
+	// return bit-identical results — this option exists to prove exactly
+	// that (the kernel-identity suite) and as an escape hatch.
+	ScalarKernel bool
 }
 
 // Engine is the sharded ranking engine. All methods are safe for
@@ -84,6 +91,24 @@ type Engine struct {
 	reg    *obs.Registry
 	stats  []shardStat
 	heaps  []sync.Pool // per-shard scratch heaps, reused across scans
+
+	// candPool recycles ANN candidate scratch buffers across scans.
+	candPool sync.Pool
+
+	// scalar pins exact scans to the scalar reference kernel
+	// (Options.ScalarKernel); slack / twoRho32 are the blocked kernel's
+	// precomputed filter constants. slack upper-bounds how far the
+	// float32 filter accumulation can overshoot the true float64
+	// distance — the worst per-dimension term is the square-root cliff,
+	// sqrt(x+δ)-sqrt(x) ≤ sqrt(δ) ≈ 9.2e-4 for the ≤ ~8.5e-7 the float32
+	// tables, dots, and halfEps pad can inflate the sqrt argument, with
+	// table/accumulation rounding adding only ~1e-5 — so a 1.2e-3 budget
+	// per dimension (scaled by 2ρ(1+η)) keeps the filter a strict
+	// superset selection: lanes it drops provably cannot enter the
+	// top-K.
+	scalar   bool
+	slack    float64
+	twoRho32 float32
 
 	// breakers is one circuit breaker per shard slot (nil when
 	// Options.Breaker was nil: every scan is always admitted).
@@ -134,6 +159,9 @@ func NewEngine(p Params, opts Options) *Engine {
 		reg:          reg,
 		stats:        newShardStats(reg, n),
 		heaps:        make([]sync.Pool, n),
+		scalar:       opts.ScalarKernel,
+		slack:        float64(p.Dim) * 2 * p.Rho * (1 + p.Eta) * 1.2e-3,
+		twoRho32:     float32(2 * p.Rho),
 		hedgeDelay:   opts.HedgeDelay,
 		panicLog:     opts.PanicLog,
 		slow:         opts.ScanHook,
@@ -233,7 +261,7 @@ func (e *Engine) Swap(src Source) error {
 	// shards containing a dirty entity and share the rest (shardData is
 	// immutable after publication, so sharing across snapshots is safe).
 	if cur != nil && src.Dirty != nil && len(cur.shards) > 0 && src.Base == cur.shards[0].lo {
-		snap, rebuilt, err := deltaSnapshot(e.p, src, cur, e.annCfg)
+		snap, rebuilt, err := deltaSnapshot(e.p, src, cur, e.annCfg, !e.scalar)
 		if err != nil {
 			return err
 		}
@@ -243,7 +271,7 @@ func (e *Engine) Swap(src Source) error {
 		e.deltaReused.Add(uint64(len(cur.shards) - rebuilt))
 		return nil
 	}
-	snap, err := buildSnapshot(e.p, e.n, src, e.annCfg)
+	snap, err := buildSnapshot(e.p, e.n, src, e.annCfg, !e.scalar)
 	if err != nil {
 		return err
 	}
@@ -267,10 +295,28 @@ type Result struct {
 	Version uint64
 }
 
-// localTopK is one shard's contribution to a gather.
-type localTopK struct {
-	d       []float64
-	id      []int32
+// BatchItem is one query of a batched ranking: its prepared arcs and how
+// many answers to retain.
+type BatchItem struct {
+	Arcs []Arc
+	K    int
+}
+
+// batchSpec is the immutable per-gather description every shard scan
+// reads: the queries, their float32 kernel tables (nil on the scalar or
+// approx paths), and the scan mode.
+type batchSpec struct {
+	items  []BatchItem
+	kern   [][]kernArc
+	approx bool
+}
+
+// localBatch is one shard's contribution to a gather: the sorted local
+// top-K of every query in the batch, or the shard-level outcome flags
+// (a shard skips or fails as a unit — one scan serves the whole batch).
+type localBatch struct {
+	d       [][]float64
+	id      [][]int32
 	skipped bool
 	// failed marks a shard-local fault (deadline miss, scan error,
 	// panic) that should count against the shard's circuit breaker.
@@ -310,6 +356,30 @@ func (e *Engine) TopKApprox(ctx context.Context, arcs []Arc, k int) (*Result, er
 	return e.run(ctx, arcs, k, true, math.Inf(1))
 }
 
+// RankBatch evaluates many queries in one gather: each shard runs a
+// single scan that sweeps every query of the batch through each entity
+// block in turn, so the blocked planes are read once per block pass
+// instead of once per query. Per-query results are merged independently
+// (each item gets its own heaps, pruning bounds and top-K), and every
+// Result is bit-identical to what TopK would return for that item alone
+// — batching changes memory traffic, never answers. Shard outcomes are
+// batch-wide: a shard that misses its deadline marks every item's
+// Result partial, exactly as it would a lone query's.
+func (e *Engine) RankBatch(ctx context.Context, items []BatchItem) ([]*Result, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("shard: empty batch")
+	}
+	for i := range items {
+		if items[i].K <= 0 {
+			return nil, fmt.Errorf("shard: batch item %d: k must be positive, got %d", i, items[i].K)
+		}
+		if len(items[i].Arcs) == 0 {
+			return nil, fmt.Errorf("shard: batch item %d has no arcs to rank", i)
+		}
+	}
+	return e.runBatch(ctx, items, false, math.Inf(1))
+}
+
 // PoolSize reports how many candidates the per-shard ANN indexes would
 // return for the arcs — the work saved versus a full scan.
 func (e *Engine) PoolSize(arcs []Arc) int {
@@ -323,11 +393,12 @@ func (e *Engine) PoolSize(arcs []Arc) int {
 		if sd.index == nil {
 			continue
 		}
-		total += len(shardCandidates(sd, arcs))
+		total += len(shardCandidates(sd, arcs, nil))
 	}
 	return total
 }
 
+// run is the single-query entry: a batch of one.
 func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool, bound float64) (*Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("shard: k must be positive, got %d", k)
@@ -335,23 +406,39 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool, bound 
 	if len(arcs) == 0 {
 		return nil, fmt.Errorf("shard: no arcs to rank")
 	}
+	res, err := e.runBatch(ctx, []BatchItem{{Arcs: arcs, K: k}}, approx, bound)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+func (e *Engine) runBatch(ctx context.Context, items []BatchItem, approx bool, bound float64) ([]*Result, error) {
 	snap := e.snap.Load()
 	if snap == nil {
 		return nil, ErrNoSnapshot
 	}
 
-	// gbound is the shared pruning bound: the smallest full-heap root any
-	// shard has published so far. Any shard's local k-th best is an upper
-	// bound on the global k-th best, so every shard may prune against it.
-	// A caller-supplied bound (TopKBound) seeds it before the first scan.
-	var gbound atomicBound
-	gbound.init()
-	if bound > 0 && !math.IsInf(bound, 1) {
-		gbound.update(bound)
+	spec := &batchSpec{items: items, approx: approx}
+	if !approx && !e.scalar {
+		spec.kern = prepareKernel(e.p.Dim, e.p.Eta, items)
+	}
+
+	// gbounds holds each query's shared pruning bound: the smallest
+	// full-heap root any shard has published for that query so far. Any
+	// shard's local k-th best is an upper bound on the global k-th best,
+	// so every shard may prune against it. A caller-supplied bound
+	// (TopKBound) seeds it before the first scan.
+	gbounds := make([]atomicBound, len(items))
+	for qi := range gbounds {
+		gbounds[qi].init()
+		if bound > 0 && !math.IsInf(bound, 1) {
+			gbounds[qi].update(bound)
+		}
 	}
 
 	tr := obs.FromContext(ctx)
-	locals := make([]localTopK, len(snap.shards))
+	locals := make([]localBatch, len(snap.shards))
 	scatterStart := time.Now()
 	var wg sync.WaitGroup
 	e.closeMu.RLock()
@@ -374,7 +461,7 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool, bound 
 		go func(i int) {
 			defer e.scanWG.Done()
 			defer wg.Done()
-			e.runShard(ctx, snap, i, arcs, k, approx, &gbound, &locals[i])
+			e.runShard(ctx, snap, i, spec, gbounds, &locals[i])
 		}(i)
 	}
 	e.closeMu.RUnlock()
@@ -413,7 +500,7 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool, bound 
 		}
 	}
 	mergeStart := time.Now()
-	res, err := mergeLocals(snap, locals, k)
+	res, err := mergeBatch(snap, locals, items)
 	tr.Observe(obs.StageHeapMerge, time.Since(mergeStart))
 	return res, err
 }
@@ -429,7 +516,7 @@ func (e *Engine) run(ctx context.Context, arcs []Arc, k int, approx bool, bound 
 // shard's budget rather than a fresh ShardTimeout, so a persistently
 // slow shard bounds the gather at ~ShardTimeout instead of
 // hedge delay + ShardTimeout.
-func (e *Engine) runShard(ctx context.Context, snap *snapshot, i int, arcs []Arc, k int, approx bool, gbound *atomicBound, out *localTopK) {
+func (e *Engine) runShard(ctx context.Context, snap *snapshot, i int, spec *batchSpec, gbounds []atomicBound, out *localBatch) {
 	sctx := ctx
 	var cancel context.CancelFunc
 	if e.shardTimeout > 0 {
@@ -439,12 +526,12 @@ func (e *Engine) runShard(ctx context.Context, snap *snapshot, i int, arcs []Arc
 	}
 	defer cancel() // the losing scan is abandoned, not awaited
 	if e.hedgeDelay <= 0 {
-		e.scanShard(sctx, ctx, snap, i, arcs, k, approx, gbound, out)
+		e.scanShard(sctx, ctx, snap, i, spec, gbounds, out)
 		return
 	}
 
 	type scanDone struct {
-		local localTopK
+		local localBatch
 		hedge bool
 	}
 	// Buffered so the losing scan's send never blocks after we return.
@@ -453,8 +540,8 @@ func (e *Engine) runShard(ctx context.Context, snap *snapshot, i int, arcs []Arc
 		e.scanWG.Add(1)
 		go func() {
 			defer e.scanWG.Done()
-			var l localTopK
-			e.scanShard(sctx, ctx, snap, i, arcs, k, approx, gbound, &l)
+			var l localBatch
+			e.scanShard(sctx, ctx, snap, i, spec, gbounds, &l)
 			results <- scanDone{local: l, hedge: hedge}
 		}()
 	}
@@ -506,15 +593,15 @@ func (e *Engine) hedgeDelayFor(i int) time.Duration {
 	return d
 }
 
-// scanShard runs one shard's local top-K scan under sctx — the
-// shard-scoped context already carrying the per-shard deadline (see
-// runShard) — and records latency/skip counters; qctx is the whole
-// query's context, consulted only to classify failures. A panic
-// anywhere in the scan is contained here: the shard is reported as
+// scanShard runs one shard's local top-K scan for the whole batch under
+// sctx — the shard-scoped context already carrying the per-shard
+// deadline (see runShard) — and records latency/skip counters; qctx is
+// the whole query's context, consulted only to classify failures. A
+// panic anywhere in the scan is contained here: the shard is reported as
 // skipped+failed (the gather degrades to a partial result, exactly like
 // a deadline miss) and the stack is counted and logged — one poisoned
 // shard never takes down the process or the query's siblings.
-func (e *Engine) scanShard(sctx, qctx context.Context, snap *snapshot, i int, arcs []Arc, k int, approx bool, gbound *atomicBound, out *localTopK) {
+func (e *Engine) scanShard(sctx, qctx context.Context, snap *snapshot, i int, spec *batchSpec, gbounds []atomicBound, out *localBatch) {
 	defer func() {
 		if v := recover(); v != nil {
 			out.skipped = true
@@ -540,12 +627,32 @@ func (e *Engine) scanShard(sctx, qctx context.Context, snap *snapshot, i int, ar
 		}
 	}
 	start := time.Now()
-	h := e.getHeap(i, k)
+	heaps := make([]*topK, len(spec.items))
+	for qi := range spec.items {
+		heaps[qi] = e.getHeap(i, spec.items[qi].K)
+	}
+	release := func() {
+		for _, h := range heaps {
+			e.heaps[i].Put(h)
+		}
+	}
+	var sc scanCounters
 	var err error
-	if approx {
-		err = e.scanCandidates(sctx, sd, arcs, h, gbound)
-	} else {
-		err = e.scanRange(sctx, sd, arcs, h, gbound)
+	switch {
+	case spec.approx:
+		for qi := range spec.items {
+			if err = e.scanCandidates(sctx, sd, spec.items[qi].Arcs, heaps[qi], &gbounds[qi]); err != nil {
+				break
+			}
+		}
+	case spec.kern != nil && sd.cos32 != nil:
+		err = e.scanBlocked(sctx, sd, spec, heaps, gbounds, &sc)
+	default:
+		for qi := range spec.items {
+			if err = e.scanRange(sctx, sd, spec.items[qi].Arcs, heaps[qi], &gbounds[qi]); err != nil {
+				break
+			}
+		}
 	}
 	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
@@ -560,57 +667,74 @@ func (e *Engine) scanShard(sctx, qctx context.Context, snap *snapshot, i int, ar
 			out.failed = true
 			e.stats[i].recordSkip()
 		}
-		e.heaps[i].Put(h)
+		release()
 		return
 	}
-	out.d, out.id = h.sorted()
-	e.heaps[i].Put(h)
+	out.d = make([][]float64, len(heaps))
+	out.id = make([][]int32, len(heaps))
+	for qi, h := range heaps {
+		out.d[qi], out.id[qi] = h.sorted()
+	}
+	release()
 	e.stats[i].record(elapsed)
+	e.stats[i].recordKernel(&sc)
 }
 
-// mergeLocals folds the per-shard sorted top-K lists into the global top
-// k, preserving the ascending (distance, ID) order of the scan paths.
-func mergeLocals(snap *snapshot, locals []localTopK, k int) (*Result, error) {
-	res := &Result{Version: snap.version}
-	total := 0
+// mergeBatch folds the per-shard sorted top-K lists into each query's
+// global top k, preserving the ascending (distance, ID) order of the
+// scan paths. Shard outcomes (answered/skipped/partial) are batch-wide
+// and shared across every Result.
+func mergeBatch(snap *snapshot, locals []localBatch, items []BatchItem) ([]*Result, error) {
+	var answered, skipped []int
 	for i := range locals {
 		if locals[i].skipped {
-			res.Skipped = append(res.Skipped, i)
+			skipped = append(skipped, i)
 			continue
 		}
-		res.Answered = append(res.Answered, i)
-		total += len(locals[i].d)
+		answered = append(answered, i)
 	}
-	if len(res.Answered) == 0 {
+	if len(answered) == 0 {
 		return nil, ErrAllShardsSkipped
 	}
-	res.Partial = len(res.Skipped) > 0
-
-	// K-way merge of the sorted local lists by (distance, ID).
-	if k > total {
-		k = total
-	}
-	res.IDs = make([]kg.EntityID, 0, k)
-	res.Dists = make([]float64, 0, k)
-	heads := make([]int, len(locals))
-	for len(res.IDs) < k {
-		best := -1
-		for _, i := range res.Answered {
-			h := heads[i]
-			if h >= len(locals[i].d) {
-				continue
-			}
-			if best < 0 || locals[i].d[h] < locals[best].d[heads[best]] ||
-				(locals[i].d[h] == locals[best].d[heads[best]] && locals[i].id[h] < locals[best].id[heads[best]]) {
-				best = i
-			}
+	results := make([]*Result, len(items))
+	for qi := range items {
+		res := &Result{
+			Version:  snap.version,
+			Answered: answered,
+			Skipped:  skipped,
+			Partial:  len(skipped) > 0,
 		}
-		if best < 0 {
-			break
+		k := items[qi].K
+		total := 0
+		for _, i := range answered {
+			total += len(locals[i].d[qi])
 		}
-		res.IDs = append(res.IDs, kg.EntityID(locals[best].id[heads[best]]))
-		res.Dists = append(res.Dists, locals[best].d[heads[best]])
-		heads[best]++
+		if k > total {
+			k = total
+		}
+		res.IDs = make([]kg.EntityID, 0, k)
+		res.Dists = make([]float64, 0, k)
+		heads := make([]int, len(locals))
+		for len(res.IDs) < k {
+			best := -1
+			for _, i := range answered {
+				h := heads[i]
+				if h >= len(locals[i].d[qi]) {
+					continue
+				}
+				if best < 0 || locals[i].d[qi][h] < locals[best].d[qi][heads[best]] ||
+					(locals[i].d[qi][h] == locals[best].d[qi][heads[best]] && locals[i].id[qi][h] < locals[best].id[qi][heads[best]]) {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			res.IDs = append(res.IDs, kg.EntityID(locals[best].id[qi][heads[best]]))
+			res.Dists = append(res.Dists, locals[best].d[qi][heads[best]])
+			heads[best]++
+		}
+		results[qi] = res
 	}
-	return res, nil
+	return results, nil
 }

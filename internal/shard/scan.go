@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"math"
+	"slices"
 	"sync/atomic"
 
 	"github.com/halk-kg/halk/internal/kg"
@@ -61,7 +62,16 @@ func (e *Engine) scanRange(ctx context.Context, sd *shardData, arcs []Arc, h *to
 // scanCandidates scores only the entities the shard's ANN index returns
 // for the arcs' centers.
 func (e *Engine) scanCandidates(ctx context.Context, sd *shardData, arcs []Arc, h *topK, gbound *atomicBound) error {
-	for n, id := range shardCandidates(sd, arcs) {
+	bufp, _ := e.candPool.Get().(*[]kg.EntityID)
+	if bufp == nil {
+		bufp = new([]kg.EntityID)
+	}
+	cands := shardCandidates(sd, arcs, *bufp)
+	defer func() {
+		*bufp = cands[:0]
+		e.candPool.Put(bufp)
+	}()
+	for n, id := range cands {
 		if n%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -72,22 +82,20 @@ func (e *Engine) scanCandidates(ctx context.Context, sd *shardData, arcs []Arc, 
 	return nil
 }
 
-// shardCandidates unions the shard-index probes of every arc center.
-func shardCandidates(sd *shardData, arcs []Arc) []kg.EntityID {
+// shardCandidates unions the shard-index probes of every arc center into
+// buf's storage, returning the candidates sorted ascending and
+// deduplicated — a deterministic scan order, with no per-query map
+// allocation (callers pool the scratch buffer).
+func shardCandidates(sd *shardData, arcs []Arc, buf []kg.EntityID) []kg.EntityID {
 	if sd.index == nil {
-		return nil
+		return buf[:0]
 	}
-	seen := make(map[kg.EntityID]struct{})
+	out := buf[:0]
 	for i := range arcs {
-		for _, id := range sd.index.Candidates(arcs[i].C, arcs[i].Radius) {
-			seen[id] = struct{}{}
-		}
+		out = sd.index.AppendCandidates(out, arcs[i].C, arcs[i].Radius)
 	}
-	out := make([]kg.EntityID, 0, len(seen))
-	for id := range seen {
-		out = append(out, id)
-	}
-	return out
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 // scoreLocal scores shard-local entity li (global ID sd.lo+li) against
@@ -95,10 +103,19 @@ func shardCandidates(sd *shardData, arcs []Arc) []kg.EntityID {
 // prunes against min(local heap bound, shared global bound): terms are
 // non-negative, so a partial sum strictly above the bound can neither
 // improve this entity's running best nor enter the top-K.
+//
+// The entity row and arc tables are re-sliced to exactly dim elements up
+// front so the inner loop runs free of bounds checks, and the builtin
+// min/max are used over math.Min/math.Max — identical semantics for
+// every float64 input (NaN propagation and signed-zero ordering
+// included), but inlined instead of a call.
 func (e *Engine) scoreLocal(sd *shardData, arcs []Arc, li int, h *topK, gbound *atomicBound) {
 	dim := e.p.Dim
 	twoRho := 2 * e.p.Rho
+	eta := e.p.Eta
 	base := li * dim
+	cosR := sd.cos[base : base+dim : base+dim]
+	sinR := sd.sin[base : base+dim : base+dim]
 	thr := h.bound()
 	if g := gbound.load(); g < thr {
 		thr = g
@@ -106,6 +123,10 @@ func (e *Engine) scoreLocal(sd *shardData, arcs []Arc, li int, h *topK, gbound *
 	best := math.Inf(1)
 	for ai := range arcs {
 		pa := &arcs[ai]
+		cosS, sinS := pa.CosS[:dim], pa.SinS[:dim]
+		cosE, sinE := pa.CosE[:dim], pa.SinE[:dim]
+		cosC, sinC := pa.CosC[:dim], pa.SinC[:dim]
+		sh := pa.SH[:dim]
 		lim := best
 		if thr < lim {
 			lim = thr
@@ -113,13 +134,13 @@ func (e *Engine) scoreLocal(sd *shardData, arcs []Arc, li int, h *topK, gbound *
 		sum := 0.0
 		pruned := false
 		for j := 0; j < dim; j++ {
-			cp, sp := sd.cos[base+j], sd.sin[base+j]
-			cs := cp*pa.CosS[j] + sp*pa.SinS[j]
-			ce := cp*pa.CosE[j] + sp*pa.SinE[j]
-			cc := cp*pa.CosC[j] + sp*pa.SinC[j]
-			do := halfSin(math.Max(cs, ce)) // min sin == max cos
-			di := math.Min(halfSin(cc), pa.SH[j])
-			sum += twoRho * (do + e.p.Eta*di)
+			cp, sp := cosR[j], sinR[j]
+			cs := cp*cosS[j] + sp*sinS[j]
+			ce := cp*cosE[j] + sp*sinE[j]
+			cc := cp*cosC[j] + sp*sinC[j]
+			do := halfSin(max(cs, ce)) // min sin == max cos
+			di := min(halfSin(cc), sh[j])
+			sum += twoRho * (do + eta*di)
 			if j%pruneStride == pruneStride-1 && sum > lim {
 				pruned = true
 				break

@@ -51,18 +51,66 @@ type snapshot struct {
 // shardData is one shard's immutable view: the contiguous entity range
 // [lo, hi) it owns, its private cos/sin trig tables over that range, the
 // local group assignments, and the optional ANN bucket index.
+//
+// When the blocked kernel is enabled the shard additionally carries a
+// cache-blocked structure-of-arrays float32 copy of the trig tables and
+// per-block min/max envelopes (see block.go); the float64 tables remain
+// the source of truth for exact scoring.
 type shardData struct {
 	lo, hi   int
 	cos, sin []float64 // (hi-lo)×dim
 	group    []int32   // nil when the group penalty is disabled
 	index    *ann.Index
+
+	// Blocked float32 planes, laid out (block, dim, lane): element
+	// (b*dim+j)*blockSize + t is lane t of block b in dimension j. nil
+	// when the engine pins the scalar kernel (Options.ScalarKernel).
+	blocks       int
+	cos32, sin32 []float32
+	// Per-(block, dim) envelope bounds over the real lanes of the block,
+	// rounded outward so the float32 box always contains the float64
+	// values.
+	envCosMin, envCosMax []float32
+	envSinMin, envSinMax []float32
+}
+
+// buildShardData computes one shard's immutable view over the source
+// rows [lo, hi) (global IDs). shardIdx decorrelates the ANN band seed
+// across shards; blocked additionally derives the float32 planes and
+// block envelopes.
+func buildShardData(p Params, lo, hi, shardIdx int, src Source, annCfg *ann.Config, blocked bool) shardData {
+	size := hi - lo
+	sd := shardData{
+		lo:  lo,
+		hi:  hi,
+		cos: make([]float64, size*p.Dim),
+		sin: make([]float64, size*p.Dim),
+	}
+	// src rows are indexed from Base: row 0 is entity Base.
+	angles := src.Angles[(lo-src.Base)*p.Dim : (hi-src.Base)*p.Dim]
+	for j, a := range angles {
+		sd.cos[j] = math.Cos(a)
+		sd.sin[j] = math.Sin(a)
+	}
+	if p.Xi > 0 {
+		sd.group = src.Group[lo-src.Base : hi-src.Base]
+	}
+	if annCfg != nil && size > 0 {
+		cfg := *annCfg
+		cfg.Seed += int64(shardIdx) // decorrelate band choices across shards
+		sd.index = ann.NewFlat(angles, p.Dim, kg.EntityID(lo), cfg)
+	}
+	if blocked {
+		buildBlocked(&sd, p.Dim)
+	}
+	return sd
 }
 
 // buildSnapshot partitions src into n contiguous shards and computes the
 // per-shard trig tables (and ANN indexes when annCfg is non-nil). The
 // first numEntities mod n shards are one entity larger, so any table
 // size splits without gaps.
-func buildSnapshot(p Params, n int, src Source, annCfg *ann.Config) (*snapshot, error) {
+func buildSnapshot(p Params, n int, src Source, annCfg *ann.Config, blocked bool) (*snapshot, error) {
 	if p.Dim <= 0 {
 		return nil, fmt.Errorf("shard: Dim must be positive")
 	}
@@ -88,29 +136,8 @@ func buildSnapshot(p Params, n int, src Source, annCfg *ann.Config) (*snapshot, 
 		if i < rem {
 			size++
 		}
-		hi := lo + size
-		sd := shardData{
-			lo:  lo,
-			hi:  hi,
-			cos: make([]float64, size*p.Dim),
-			sin: make([]float64, size*p.Dim),
-		}
-		// src rows are indexed from Base: row 0 is entity Base.
-		angles := src.Angles[(lo-src.Base)*p.Dim : (hi-src.Base)*p.Dim]
-		for j, a := range angles {
-			sd.cos[j] = math.Cos(a)
-			sd.sin[j] = math.Sin(a)
-		}
-		if p.Xi > 0 {
-			sd.group = src.Group[lo-src.Base : hi-src.Base]
-		}
-		if annCfg != nil && size > 0 {
-			cfg := *annCfg
-			cfg.Seed += int64(i) // decorrelate band choices across shards
-			sd.index = ann.NewFlat(angles, p.Dim, kg.EntityID(lo), cfg)
-		}
-		snap.shards[i] = sd
-		lo = hi
+		snap.shards[i] = buildShardData(p, lo, lo+size, i, src, annCfg, blocked)
+		lo += size
 	}
 	return snap, nil
 }
@@ -121,10 +148,10 @@ func buildSnapshot(p Params, n int, src Source, annCfg *ann.Config) (*snapshot, 
 // in-flight scans on cur and new scans on the delta snapshot read the
 // same backing arrays, which neither will ever write. Dirty shards are
 // rebuilt from src exactly as buildSnapshot would (including the
-// per-shard ANN seed offset), so a delta snapshot is byte-identical to
-// a full rebuild whenever the caller's Dirty contract holds. Returns
-// the number of shards rebuilt.
-func deltaSnapshot(p Params, src Source, cur *snapshot, annCfg *ann.Config) (*snapshot, int, error) {
+// per-shard ANN seed offset and the blocked planes), so a delta snapshot
+// is byte-identical to a full rebuild whenever the caller's Dirty
+// contract holds. Returns the number of shards rebuilt.
+func deltaSnapshot(p Params, src Source, cur *snapshot, annCfg *ann.Config, blocked bool) (*snapshot, int, error) {
 	dirty := append([]int32(nil), src.Dirty...)
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
 	snap := &snapshot{
@@ -141,27 +168,7 @@ func deltaSnapshot(p Params, src Source, cur *snapshot, annCfg *ann.Config) (*sn
 			snap.shards[i] = cur.shards[i]
 			continue
 		}
-		size := hi - lo
-		sd := shardData{
-			lo:  lo,
-			hi:  hi,
-			cos: make([]float64, size*p.Dim),
-			sin: make([]float64, size*p.Dim),
-		}
-		angles := src.Angles[(lo-src.Base)*p.Dim : (hi-src.Base)*p.Dim]
-		for k, a := range angles {
-			sd.cos[k] = math.Cos(a)
-			sd.sin[k] = math.Sin(a)
-		}
-		if p.Xi > 0 {
-			sd.group = src.Group[lo-src.Base : hi-src.Base]
-		}
-		if annCfg != nil && size > 0 {
-			cfg := *annCfg
-			cfg.Seed += int64(i)
-			sd.index = ann.NewFlat(angles, p.Dim, kg.EntityID(lo), cfg)
-		}
-		snap.shards[i] = sd
+		snap.shards[i] = buildShardData(p, lo, hi, i, src, annCfg, blocked)
 		rebuilt++
 	}
 	return snap, rebuilt, nil

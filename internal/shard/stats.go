@@ -25,6 +25,9 @@ type shardStat struct {
 	breakerSkips *obs.Counter   // scans refused up front by an open breaker
 	hedges       *obs.Counter   // hedge scans issued
 	hedgeWins    *obs.Counter   // gathers where the hedge finished first
+	envSkips     *obs.Counter   // (block, query) pairs skipped by the envelope
+	filterLanes  *obs.Counter   // lanes offered to the float32 filter
+	filterSurv   *obs.Counter   // lanes the filter passed to exact rescoring
 	scanMs       *obs.Histogram // completed-scan latency
 	lastMs       *obs.Gauge
 	maxMs        *obs.Gauge
@@ -44,6 +47,9 @@ func newShardStats(reg *obs.Registry, n int) []shardStat {
 			breakerSkips: reg.Counter("halk_shard_breaker_skips_total", "Shard scans refused up front by an open circuit breaker.", l),
 			hedges:       reg.Counter("halk_shard_hedges_total", "Hedge scans issued after the per-shard hedge delay.", l),
 			hedgeWins:    reg.Counter("halk_shard_hedge_wins_total", "Gathers where the hedge scan finished before the primary.", l),
+			envSkips:     reg.Counter("halk_shard_block_env_skips_total", "Entity blocks skipped whole by the per-block envelope bound (counted per query of a batch).", l),
+			filterLanes:  reg.Counter("halk_shard_filter_lanes_total", "Entity lanes offered to the blocked float32 filter.", l),
+			filterSurv:   reg.Counter("halk_shard_filter_survivors_total", "Filter lanes that required exact float64 rescoring.", l),
 			scanMs:       reg.Histogram("halk_shard_scan_duration_ms", "Latency of completed shard scans in milliseconds.", obs.LatencyBuckets, l),
 			lastMs:       reg.Gauge("halk_shard_last_scan_ms", "Latency of the most recent completed scan.", l),
 			maxMs:        reg.Gauge("halk_shard_max_scan_ms", "Worst completed-scan latency since process start.", l),
@@ -65,6 +71,19 @@ func (st *shardStat) recordPanic()       { st.panics.Inc() }
 func (st *shardStat) recordBreakerSkip() { st.breakerSkips.Inc() }
 func (st *shardStat) recordHedge()       { st.hedges.Inc() }
 func (st *shardStat) recordHedgeWin()    { st.hedgeWins.Inc() }
+
+// recordKernel folds one completed scan's blocked-kernel counters in.
+func (st *shardStat) recordKernel(sc *scanCounters) {
+	if sc.envSkips > 0 {
+		st.envSkips.Add(sc.envSkips)
+	}
+	if sc.lanes > 0 {
+		st.filterLanes.Add(sc.lanes)
+	}
+	if sc.survivors > 0 {
+		st.filterSurv.Add(sc.survivors)
+	}
+}
 
 // ShardStats is the exported per-shard counter snapshot, shaped for the
 // /v1/stats JSON export.
@@ -88,6 +107,13 @@ type ShardStats struct {
 	BreakerSkips uint64 `json:"breaker_skips,omitempty"`
 	Hedges       uint64 `json:"hedges,omitempty"`
 	HedgeWins    uint64 `json:"hedge_wins,omitempty"`
+	// Blocked-kernel effectiveness: EnvSkips counts (block, query) pairs
+	// skipped whole by the envelope bound, FilterLanes counts entity
+	// lanes offered to the float32 filter, FilterSurvivors counts lanes
+	// that needed exact rescoring.
+	EnvSkips        uint64 `json:"env_skips,omitempty"`
+	FilterLanes     uint64 `json:"filter_lanes,omitempty"`
+	FilterSurvivors uint64 `json:"filter_survivors,omitempty"`
 	// Breaker is the shard's circuit breaker snapshot; absent when
 	// breakers are disabled.
 	Breaker *resil.BreakerStats `json:"breaker,omitempty"`
@@ -106,17 +132,20 @@ func (e *Engine) Stats() []ShardStats {
 	for i := range e.stats {
 		st := &e.stats[i]
 		out[i] = ShardStats{
-			Shard:        i,
-			Scans:        st.scans.Value(),
-			Skips:        st.skips.Value(),
-			Errors:       st.errors.Value(),
-			Panics:       st.panics.Value(),
-			BreakerSkips: st.breakerSkips.Value(),
-			Hedges:       st.hedges.Value(),
-			HedgeWins:    st.hedgeWins.Value(),
-			LastScanMs:   st.lastMs.Value(),
-			MeanScanMs:   st.scanMs.Mean(),
-			MaxScanMs:    st.maxMs.Value(),
+			Shard:           i,
+			Scans:           st.scans.Value(),
+			Skips:           st.skips.Value(),
+			Errors:          st.errors.Value(),
+			Panics:          st.panics.Value(),
+			BreakerSkips:    st.breakerSkips.Value(),
+			Hedges:          st.hedges.Value(),
+			HedgeWins:       st.hedgeWins.Value(),
+			EnvSkips:        st.envSkips.Value(),
+			FilterLanes:     st.filterLanes.Value(),
+			FilterSurvivors: st.filterSurv.Value(),
+			LastScanMs:      st.lastMs.Value(),
+			MeanScanMs:      st.scanMs.Mean(),
+			MaxScanMs:       st.maxMs.Value(),
 		}
 		if e.breakers != nil {
 			bs := e.breakers[i].Stats()
