@@ -93,6 +93,7 @@ func main() {
 		{"Sharding", s.Sharding},
 		{"BatchMix", s.BatchMix},
 		{"IngestMix", s.IngestMix},
+		{"ReplicaFailover", s.ReplicaFailover},
 	}
 	ran := 0
 	for _, r := range runners {

@@ -52,7 +52,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -68,44 +67,6 @@ import (
 	"github.com/halk-kg/halk/internal/serve"
 	"github.com/halk-kg/halk/internal/shard"
 )
-
-// parseTopology resolves the -cluster/-cluster-file flags to the node
-// address list: -cluster is a comma-separated list, -cluster-file a
-// text file with one address per line (# comments and blank lines
-// skipped). Exactly one may be set.
-func parseTopology(list, file string) ([]string, error) {
-	if list != "" && file != "" {
-		return nil, fmt.Errorf("-cluster and -cluster-file are mutually exclusive")
-	}
-	var raw []string
-	switch {
-	case list != "":
-		raw = strings.Split(list, ",")
-	case file != "":
-		b, err := os.ReadFile(file)
-		if err != nil {
-			return nil, err
-		}
-		for _, line := range strings.Split(string(b), "\n") {
-			if i := strings.IndexByte(line, '#'); i >= 0 {
-				line = line[:i]
-			}
-			raw = append(raw, strings.Fields(line)...)
-		}
-	default:
-		return nil, nil
-	}
-	var addrs []string
-	for _, a := range raw {
-		if a = strings.TrimSpace(a); a != "" {
-			addrs = append(addrs, a)
-		}
-	}
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("cluster topology resolved to no node addresses")
-	}
-	return addrs, nil
-}
 
 // datasetFor regenerates the synthetic dataset a checkpoint header
 // names. An unknown name is permanent: no retry can make it loadable.
@@ -178,11 +139,11 @@ func main() {
 		brkMisses    = flag.Int("breaker-consecutive-misses", 4, "consecutive shard failures that open the breaker (negative disables)")
 		brkOpen      = flag.Duration("breaker-open", 250*time.Millisecond, "minimum breaker cool-down; each failed reopen probe adds full-jitter exponential extra")
 		brkOpenMax   = flag.Duration("breaker-open-max", 15*time.Second, "cap on the breaker cool-down's jittered extra")
-		clusterList  = flag.String("cluster", "", "router mode: comma-separated halk-shard node addresses; exact queries scatter-gather across them instead of a local engine")
-		clusterFile  = flag.String("cluster-file", "", "router mode: topology file with one halk-shard node address per line (# comments)")
-		remoteTO     = flag.Duration("remote-timeout", 2*time.Second, "per-remote scan deadline in router mode; a node that misses it is skipped and the response degrades to a partial result (0 = request deadline only)")
-		healthEvery  = flag.Duration("health-every", 2*time.Second, "router-mode node health-poll period (liveness, ranges, checkpoint versions)")
-		quorum       = flag.Int("quorum", 0, "router mode: nodes that must report a new entity version before the served version (and cache namespace) flips (0 = majority)")
+		clusterList  = flag.String("cluster", "", "router mode: comma-separated entity ranges, each a '|'-separated replica set of halk-shard addresses (e.g. \"a:9001|b:9001,a:9002|b:9002\"); exact queries scatter-gather across the ranges and fail over within each replica set")
+		clusterFile  = flag.String("cluster-file", "", "router mode: topology file with one entity range per line, the line's whitespace- or '|'-separated addresses being that range's replicas (# comments)")
+		remoteTO     = flag.Duration("remote-timeout", 2*time.Second, "per-attempt replica scan deadline in router mode; a replica that misses it fails over to its next sibling, and a range whose whole replica set is exhausted degrades the response to a partial result (0 = request deadline only)")
+		healthEvery  = flag.Duration("health-every", 2*time.Second, "router-mode replica health-poll period (liveness, ranges, checkpoint versions)")
+		quorum       = flag.Int("quorum", 0, "router mode: entity ranges that must have a replica on a new entity version before the served version (and cache namespace) flips (0 = majority)")
 		maxQueueWait = flag.Duration("max-queue-wait", 0, "admission control: shed requests with 429 when the expected worker-queue wait exceeds min(this, the request deadline) (0 disables)")
 		ckptRetries  = flag.Int("ckpt-retries", 3, "checkpoint-load attempts before giving up (full-jitter exponential backoff between attempts; corrupt/mismatched files fail immediately)")
 		ckptWatch    = flag.Duration("ckpt-watch", 0, "poll the -ckpt path this often and hot-reload newer checkpoints into the running server (0 disables)")
@@ -192,6 +153,8 @@ func main() {
 		ingestBatch   = flag.Int("ingest-batch", 64, "edges folded into one fine-tune micro-batch (pinned per WAL segment, so changing it never affects replay of already-logged batches)")
 		ingestEvery   = flag.Duration("ingest-every", 100*time.Millisecond, "ingest drain poll period (a write also wakes the drainer immediately)")
 		ingestPersist = flag.Int("ingest-persist-every", 64, "applied WAL segments between durable state checkpoints (<ingest-dir>/state.ckpt); each one advances the WAL cursor and prunes covered segments (0 disables: segments are kept forever and replayed from the base checkpoint)")
+		ingestCompact = flag.Bool("ingest-compact", true, "at startup, remove WAL segments wholly below the durable APPLIED cursor that earlier pruning left behind (crash between cursor write and prune, restored files)")
+		ingestArchive = flag.String("ingest-archive", "", "with -ingest-compact, move dead WAL segments to this directory instead of deleting them (empty = delete)")
 	)
 	flag.Parse()
 
@@ -304,11 +267,11 @@ func main() {
 		cfg.Approx = m.NewAnswerIndex(ann.DefaultConfig(hdr.Seed))
 		log.Print("ANN answer index built; \"mode\": \"approx\" enabled")
 	}
-	remotes, err := parseTopology(*clusterList, *clusterFile)
+	topology, err := cluster.ParseTopology(*clusterList, *clusterFile)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(remotes) > 0 && *shards > 0 {
+	if len(topology) > 0 && *shards > 0 {
 		log.Fatal("-cluster/-cluster-file and -shards are mutually exclusive: exact queries are ranked either by remote nodes or by a local engine")
 	}
 	brkCfg := func() *resil.BreakerConfig {
@@ -324,12 +287,13 @@ func main() {
 	var ranker *halk.ShardedRanker
 	var router *cluster.Router
 	switch {
-	case len(remotes) > 0:
+	case len(topology) > 0:
 		// Router mode: the local checkpoint embeds queries; ranking
-		// scatter-gathers across the topology. The -hedge-delay and
-		// -breaker flags apply per remote node instead of per local shard.
+		// scatter-gathers across the entity ranges, failing over within
+		// each range's replica set. The -hedge-delay and -breaker flags
+		// apply per replica instead of per local shard.
 		rcfg := cluster.Config{
-			Remotes: remotes,
+			Ranges: topology,
 			Embed: func(n *query.Node) []cluster.ArcSpec {
 				arcs := m.EmbedQueryLocked(n)
 				specs := make([]cluster.ArcSpec, len(arcs))
@@ -352,8 +316,12 @@ func main() {
 			log.Fatal(err)
 		}
 		cfg.Ranker = router
-		log.Printf("cluster router built: %d nodes, remote timeout %v, hedge delay %v, breakers %v, quorum %d",
-			len(remotes), *remoteTO, *hedge, *breaker, *quorum)
+		replicas := 0
+		for _, reps := range topology {
+			replicas += len(reps)
+		}
+		log.Printf("cluster router built: %d ranges, %d replicas, remote timeout %v, hedge delay %v, breakers %v, quorum %d",
+			len(topology), replicas, *remoteTO, *hedge, *breaker, *quorum)
 	case *shards > 0:
 		opts := shard.Options{
 			Shards:       *shards,
@@ -383,7 +351,7 @@ func main() {
 	var srv *serve.Server
 	var ing *ingest.Ingester
 	if *ingestOn {
-		if len(remotes) > 0 {
+		if len(topology) > 0 {
 			log.Fatal("-ingest requires the local model to own the embeddings; it is incompatible with -cluster router mode")
 		}
 		wal, err := ingest.OpenWAL(*ingestDir)
@@ -392,6 +360,19 @@ func main() {
 		}
 		if q := wal.Quarantined(); q > 0 {
 			log.Printf("ingest: quarantined %d corrupt WAL file(s) in %s (renamed *.bad)", q, *ingestDir)
+		}
+		if *ingestCompact {
+			n, err := wal.Compact(*ingestArchive)
+			if err != nil {
+				log.Fatalf("ingest: WAL compaction: %v", err)
+			}
+			if n > 0 {
+				disposed := "removed"
+				if *ingestArchive != "" {
+					disposed = "archived to " + *ingestArchive
+				}
+				log.Printf("ingest: compacted %d dead WAL segment(s) below cursor %d (%s)", n, wal.AppliedSeq(), disposed)
+			}
 		}
 		ing, err = ingest.New(ingest.Config{
 			Model:     m,
@@ -470,7 +451,12 @@ func main() {
 		hctx, hcancel := context.WithTimeout(ctx, 5*time.Second)
 		up := router.CheckHealth(hctx)
 		hcancel()
-		log.Printf("cluster health: %d/%d nodes up, serving entity version %d", up, len(remotes), router.SnapshotVersion())
+		total := 0
+		for _, reps := range topology {
+			total += len(reps)
+		}
+		log.Printf("cluster health: %d/%d replicas up across %d ranges, serving entity version %d",
+			up, total, len(topology), router.SnapshotVersion())
 		router.Start(ctx)
 	}
 

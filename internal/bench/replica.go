@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"github.com/halk-kg/halk/internal/cluster"
+	"github.com/halk-kg/halk/internal/halk"
+	"github.com/halk-kg/halk/internal/kg"
+	"github.com/halk-kg/halk/internal/obs"
+	"github.com/halk-kg/halk/internal/query"
+	"github.com/halk-kg/halk/internal/shard"
+)
+
+// replicaNode is one loopback shard node of the ReplicaFailover
+// topology.
+type replicaNode struct {
+	ts     *httptest.Server
+	node   *cluster.Node
+	ranker *halk.RangeRanker
+}
+
+func (rn *replicaNode) close() {
+	rn.ts.Close()
+	rn.node.Close()
+	rn.ranker.Close()
+}
+
+// startReplicaTopology builds a loopback cluster of nRanges entity
+// ranges with nReplicas nodes each, all over the same model.
+func startReplicaTopology(m *halk.Model, ds *kg.Dataset, nRanges, nReplicas int) ([][]*replicaNode, [][]string, error) {
+	embed := func(n *query.Node) []cluster.ArcSpec {
+		arcs := m.EmbedQueryLocked(n)
+		specs := make([]cluster.ArcSpec, len(arcs))
+		for i, a := range arcs {
+			specs[i] = cluster.ArcSpec{C: a.C, L: a.L, Hot: a.Hot}
+		}
+		return specs
+	}
+	ents := ds.Train.NumEntities()
+	nodes := make([][]*replicaNode, nRanges)
+	ranges := make([][]string, nRanges)
+	for i := 0; i < nRanges; i++ {
+		lo, hi := cluster.Partition(ents, nRanges, i)
+		for j := 0; j < nReplicas; j++ {
+			ranker, err := m.NewRangeRanker(lo, hi, shard.Options{Shards: 1})
+			if err != nil {
+				return nodes, nil, err
+			}
+			node, err := cluster.NewNode(cluster.NodeConfig{
+				Engine:    ranker.Engine(),
+				Params:    m.ShardParams(),
+				Metrics:   obs.NewRegistry(),
+				ModelName: ds.Name,
+				Entities:  ds.Train.Entities,
+				Relations: ds.Train.Relations,
+				Graph:     ds.Test,
+				Embed:     embed,
+			})
+			if err != nil {
+				ranker.Close()
+				return nodes, nil, err
+			}
+			ts := httptest.NewServer(node.Handler())
+			nodes[i] = append(nodes[i], &replicaNode{ts: ts, node: node, ranker: ranker})
+			ranges[i] = append(ranges[i], ts.URL)
+		}
+	}
+	return nodes, ranges, nil
+}
+
+// ReplicaFailover measures what replica failover costs and what it
+// buys: exact top-10 latency over the 2i workload through an
+// in-process engine, through a healthy 2-replica 2-range loopback
+// cluster, and through the same cluster with one replica killed in
+// every range. The contract under test is the replicated serving
+// invariant — with a live sibling per range the degraded topology still
+// answers whole (no partial) and byte-identical to the in-process
+// baseline, at the price of failovers instead of completeness.
+func (s *Suite) ReplicaFailover() *Table {
+	const (
+		k         = 10
+		nRanges   = 2
+		nReplicas = 2
+	)
+	ds := s.Dataset("FB237")
+	mi, _ := s.Model(ds, "HaLk")
+	m := mi.(*halk.Model)
+	w := s.Workload(ds, "2i")
+
+	t := &Table{
+		ID: "ReplicaFailover",
+		Title: fmt.Sprintf("Replica failover: %d-range %d-replica loopback cluster (%s, 2i, %d queries, top-%d)",
+			nRanges, nReplicas, ds.Name, len(w), k),
+		Header: []string{"Topology", "µs/query", "Failovers", "Partial", "Exact"},
+	}
+
+	ctx := context.Background()
+
+	// Baseline: the in-process engine at the same scatter width.
+	ref, err := m.NewShardedRanker(shard.Options{Shards: nRanges})
+	if err != nil {
+		s.logf("replica: %v", err)
+		return t
+	}
+	defer ref.Close()
+	baseline := make([]*shard.Result, len(w))
+	if _, err := ref.RankTopK(ctx, w[0].Root, k); err != nil { // warm
+		s.logf("replica: warm query: %v", err)
+		return t
+	}
+	start := time.Now()
+	for i := range w {
+		res, err := ref.RankTopK(ctx, w[i].Root, k)
+		if err != nil {
+			s.logf("replica: baseline query %d: %v", i, err)
+			return t
+		}
+		baseline[i] = res
+	}
+	per := float64(time.Since(start).Microseconds()) / float64(len(w))
+	t.Rows = append(t.Rows, []string{"in-process", fmt.Sprintf("%.0f", per), "-", "no", "yes"})
+
+	nodes, ranges, err := startReplicaTopology(m, ds, nRanges, nReplicas)
+	defer func() {
+		for _, reps := range nodes {
+			for _, rn := range reps {
+				rn.close()
+			}
+		}
+	}()
+	if err != nil {
+		s.logf("replica: topology: %v", err)
+		return t
+	}
+
+	// sabotage runs after the health sweep and warm query, so the router
+	// believes the topology is whole when the fault lands — the
+	// mid-serving node death that exercises failover, as opposed to a
+	// known-dead replica the health loop already routed around.
+	run := func(label string, sabotage func()) {
+		rt, err := cluster.NewRouter(cluster.Config{
+			Ranges: ranges,
+			Embed: func(n *query.Node) []cluster.ArcSpec {
+				arcs := m.EmbedQueryLocked(n)
+				specs := make([]cluster.ArcSpec, len(arcs))
+				for i, a := range arcs {
+					specs[i] = cluster.ArcSpec{C: a.C, L: a.L, Hot: a.Hot}
+				}
+				return specs
+			},
+			ScanTimeout: 2 * time.Second,
+			Metrics:     obs.NewRegistry(),
+			Seed:        s.cfg.Seed,
+		})
+		if err != nil {
+			s.logf("replica: router: %v", err)
+			return
+		}
+		defer rt.Close()
+		rt.CheckHealth(ctx)
+		if _, err := rt.RankTopK(ctx, w[0].Root, k); err != nil { // warm
+			s.logf("replica: %s warm query: %v", label, err)
+			return
+		}
+		if sabotage != nil {
+			sabotage()
+		}
+		partial, exact := false, true
+		start := time.Now()
+		for i := range w {
+			res, err := rt.RankTopK(ctx, w[i].Root, k)
+			if err != nil {
+				s.logf("replica: %s query %d: %v", label, i, err)
+				exact = false
+				continue
+			}
+			partial = partial || res.Partial
+			if len(res.IDs) != len(baseline[i].IDs) {
+				exact = false
+				continue
+			}
+			for j := range res.IDs {
+				if res.IDs[j] != baseline[i].IDs[j] {
+					exact = false
+				}
+			}
+		}
+		per := float64(time.Since(start).Microseconds()) / float64(len(w))
+		var failovers uint64
+		for _, rr := range rt.ReplicaStats() {
+			failovers += rr.Failovers
+		}
+		yn := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "no"
+		}
+		t.Rows = append(t.Rows, []string{
+			label, fmt.Sprintf("%.0f", per), fmt.Sprintf("%d", failovers), yn(partial), yn(exact),
+		})
+	}
+
+	run("replicated, healthy", nil)
+	run("replicated, 1 replica killed/range", func() {
+		for _, reps := range nodes {
+			reps[0].ts.Close() // kill one replica per range mid-serving
+		}
+	})
+	return t
+}

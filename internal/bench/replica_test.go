@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestReplicaFailoverExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	s := quickSuite(t)
+	tbl := s.ReplicaFailover()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("ReplicaFailover rows = %d, want 3: %v", len(tbl.Rows), tbl.Rows)
+	}
+	if tbl.Rows[0][0] != "in-process" {
+		t.Fatalf("first row must be the in-process baseline: %v", tbl.Rows[0])
+	}
+	for i, row := range tbl.Rows {
+		if row[3] != "no" {
+			t.Errorf("row %d (%s) answered partial: %v", i, row[0], row)
+		}
+		if row[4] != "yes" {
+			t.Errorf("row %d (%s) disagreed with the in-process baseline: %v", i, row[0], row)
+		}
+	}
+	// The degraded topology must have paid in failovers, not completeness.
+	if tbl.Rows[2][2] == "0" {
+		t.Errorf("degraded topology recorded no failovers: %v", tbl.Rows[2])
+	}
+}

@@ -30,11 +30,11 @@ func TestChaosMatrix(t *testing.T) {
 		name  string
 		fault resil.Fault
 		// counter picks the router-side series the fault must move.
-		counter func(st *remoteStat) uint64
+		counter func(st *replicaStat) uint64
 	}{
-		{"panic", resil.Fault{Kind: resil.KindPanic}, func(st *remoteStat) uint64 { return st.errors.Value() }},
-		{"slow", resil.Fault{Kind: resil.KindDelay, Delay: 10 * scanTimeout}, func(st *remoteStat) uint64 { return st.timeouts.Value() }},
-		{"500", resil.Fault{Kind: resil.KindError}, func(st *remoteStat) uint64 { return st.errors.Value() }},
+		{"panic", resil.Fault{Kind: resil.KindPanic}, func(st *replicaStat) uint64 { return st.errors.Value() }},
+		{"slow", resil.Fault{Kind: resil.KindDelay, Delay: 10 * scanTimeout}, func(st *replicaStat) uint64 { return st.timeouts.Value() }},
+		{"500", resil.Fault{Kind: resil.KindError}, func(st *replicaStat) uint64 { return st.errors.Value() }},
 	}
 	for _, kind := range kinds {
 		for _, allNodes := range []bool{false, true} {
@@ -78,13 +78,13 @@ func TestChaosMatrix(t *testing.T) {
 				if len(res.Answered) != 2 || len(res.Skipped) != 1 || res.Skipped[0] != 0 {
 					t.Fatalf("Answered = %v, Skipped = %v; want node 0 skipped", res.Answered, res.Skipped)
 				}
-				lo, hi, _, _ := rt.stats[0].health()
+				lo, hi, _, _ := rep0(rt, 0).st.health()
 				for _, id := range res.IDs {
 					if int(id) >= lo && int(id) < hi {
 						t.Fatalf("answer %d falls in the faulty node's range [%d, %d)", id, lo, hi)
 					}
 				}
-				if kind.counter(rt.stats[0]) == 0 {
+				if kind.counter(rep0(rt, 0).st) == 0 {
 					t.Fatalf("%s: faulty node's failure counter did not move", kind.name)
 				}
 				if kind.fault.Kind == resil.KindPanic {
@@ -133,7 +133,7 @@ func TestRouterHedgeRecoversSlowScan(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Fatalf("gather took %v; the hedge should have answered well before the wedged primary", elapsed)
 	}
-	if rt.stats[1].hedges.Value() == 0 {
+	if rep0(rt, 1).st.hedges.Value() == 0 {
 		t.Fatal("no hedge recorded for the wedged node")
 	}
 }

@@ -105,6 +105,10 @@ func addrsOf(nodes []*testNode) []string {
 	return addrs
 }
 
+// rep0 returns range ri's sole replica — legacy tests drive 1-replica
+// topologies where startTopology maps one node per range.
+func rep0(rt *Router, ri int) *replica { return rt.ranges[ri].replicas[0] }
+
 func newTestRouter(t *testing.T, m *halk.Model, nodes []*testNode, mutate func(*Config)) *Router {
 	t.Helper()
 	cfg := Config{
@@ -272,7 +276,7 @@ func TestRouterPartialOnNodeKill(t *testing.T) {
 		c.ScanTimeout = 2 * time.Second
 	})
 
-	deadLo, deadHi, _, _ := rt.stats[1].health()
+	deadLo, deadHi, _, _ := rep0(rt, 1).st.health()
 	if deadHi <= deadLo {
 		t.Fatal("health sweep did not record node 1's range")
 	}
@@ -301,7 +305,7 @@ func TestRouterPartialOnNodeKill(t *testing.T) {
 			t.Fatalf("answer %d falls in the dead node's range [%d, %d)", id, deadLo, deadHi)
 		}
 	}
-	if got := rt.stats[1].errors.Value(); got == 0 {
+	if got := rep0(rt, 1).st.errors.Value(); got == 0 {
 		t.Fatal("dead node's error counter did not move")
 	}
 }
@@ -339,13 +343,13 @@ func TestRouterBreakerOpensOnDeadNode(t *testing.T) {
 			t.Fatalf("gather %d: not partial with node 0 dead", i)
 		}
 	}
-	if rt.breakers[0].State() == resil.Closed {
+	if rep0(rt, 0).breaker.State() == resil.Closed {
 		t.Fatal("node 0's breaker still closed after repeated failures")
 	}
-	if rt.stats[0].breakerSkips.Value() == 0 {
+	if rep0(rt, 0).st.breakerSkips.Value() == 0 {
 		t.Fatal("no breaker skips recorded after the breaker opened")
 	}
-	if rt.breakers[1].State() != resil.Closed || rt.breakers[2].State() != resil.Closed {
+	if rep0(rt, 1).breaker.State() != resil.Closed || rep0(rt, 2).breaker.State() != resil.Closed {
 		t.Fatal("a healthy node's breaker opened")
 	}
 }

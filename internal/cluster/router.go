@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,133 +17,240 @@ import (
 	"github.com/halk-kg/halk/internal/obs"
 	"github.com/halk-kg/halk/internal/query"
 	"github.com/halk-kg/halk/internal/resil"
+	"github.com/halk-kg/halk/internal/serve"
 	"github.com/halk-kg/halk/internal/shard"
 )
 
 // Config assembles a Router.
 type Config struct {
 	// Remotes are the node addresses ("host:port" or URLs), one per
-	// hosted entity range. Required, at least one.
+	// hosted entity range — the pre-replica 1-replica form, kept for
+	// back compatibility. Exactly one of Remotes and Ranges is required.
 	Remotes []string
+	// Ranges is the replica topology: Ranges[i] lists entity range i's
+	// replica endpoints. Every replica of a range must host the same
+	// [lo, hi) entity slice of the same checkpoint lineage; the router
+	// picks a primary per range, fails over across the set, and only
+	// degrades the answer to partial when the whole set is exhausted.
+	Ranges [][]string
 	// Embed turns a query DAG into wire arcs; halk-serve wires the
 	// model's EmbedQueryLocked. Required.
 	Embed func(n *query.Node) []ArcSpec
-	// ScanTimeout bounds each remote scan; a remote that misses it is
-	// skipped and the merged result is marked partial — the cluster
-	// analogue of shard.Options.ShardTimeout. 0 means remotes are
-	// bounded only by the query context.
+	// ScanTimeout bounds each scan attempt; an attempt that misses it
+	// fails over to the range's next replica within the query's
+	// remaining budget — the cluster analogue of
+	// shard.Options.ShardTimeout. 0 means attempts are bounded only by
+	// the query context.
 	ScanTimeout time.Duration
-	// HedgeDelay enables hedged remote scans: when a node has not
+	// HedgeDelay enables hedged scans: when a range's primary has not
 	// answered after max(HedgeDelay, its observed p99 scan latency) —
-	// capped at ScanTimeout — a second identical request is issued and
-	// the first result wins. Node snapshots are immutable, so either
-	// answer is byte-identical. 0 disables hedging.
+	// capped at ScanTimeout — a second identical request is issued to
+	// the range's *next replica* (a different process, so a wedged node
+	// cannot wedge its own hedge) and the first success wins. Replica
+	// snapshots are version-pinned, so either answer is byte-identical.
+	// 0 disables hedging.
 	HedgeDelay time.Duration
-	// Breaker, when non-nil, guards each remote with a circuit breaker
-	// built from this config: nodes that keep failing are skipped up
-	// front (immediate partial degradation) until a half-open probe
+	// Breaker, when non-nil, guards each replica with a circuit breaker
+	// built from this config: replicas that keep failing are skipped up
+	// front (immediate failover to a sibling) until a half-open probe
 	// succeeds.
 	Breaker *resil.BreakerConfig
-	// Quorum is how many nodes must report a new entity version before
-	// the router flips its served version — and with it the answer
-	// cache's key namespace — during a checkpoint rollout. 0 means a
-	// majority (len(Remotes)/2 + 1).
+	// Quorum is how many *ranges* must be ready on a new entity version
+	// — a range is ready when at least one live replica serves it —
+	// before the router flips its served version — and with it the
+	// answer cache's key namespace — during a checkpoint rollout. 0
+	// means a majority (len(ranges)/2 + 1).
 	Quorum int
 	// HealthEvery is the Start loop's health-poll period; 0 means 2s.
 	HealthEvery time.Duration
-	// Metrics is the registry the per-remote counters register on; nil
+	// Metrics is the registry the per-replica counters register on; nil
 	// means a private one.
 	Metrics *obs.Registry
 	// Client is the shared HTTP client; nil means NewHTTPClient().
 	Client *http.Client
+	// Seed drives the power-of-two-choices sampling; 0 means
+	// time-seeded. Fix it in tests that need a reproducible pick order.
+	Seed int64
 }
 
-// Router scatter-gathers ranking queries across remote shard nodes and
-// merges their local top-K lists into the global answer. It implements
-// serve.Ranker, so halk-serve's caching, admission control, partial
-// semantics and stats surfaces apply to a topology of remote nodes
-// exactly as they apply to an in-process engine.
+// replica is one endpoint of a range's replica set: the remote client,
+// its circuit breaker (nil when breakers are off) and its counters.
+type replica struct {
+	addr    string
+	idx     int // index within the range's replica set
+	remote  *RemoteShard
+	breaker *resil.Breaker
+	st      *replicaStat
+}
+
+// rangeSet is one entity range's replica set plus the range-level
+// routing state: the sticky primary index and the failover/flip
+// counters.
+type rangeSet struct {
+	index    int
+	replicas []*replica
+	// primary is the replica index the last gather picked (-1 before
+	// the first pick); flips counts changes after the first.
+	primary   atomic.Int32
+	failovers *obs.Counter
+	flips     *obs.Counter
+}
+
+// lohi returns the range's hosted slice as of the last health check
+// that reached any replica.
+func (rs *rangeSet) lohi() (lo, hi int) {
+	for _, rep := range rs.replicas {
+		l, h, _, healthy := rep.st.health()
+		if healthy || h > l {
+			return l, h
+		}
+	}
+	return 0, 0
+}
+
+// Router scatter-gathers ranking queries across the entity ranges of a
+// replicated topology and merges their local top-K lists into the
+// global answer. It implements serve.Ranker, so halk-serve's caching,
+// admission control, partial semantics and stats surfaces apply to a
+// topology of remote nodes exactly as they apply to an in-process
+// engine.
+//
+// Each range is served by a replica set: the router picks a primary
+// per gather (power-of-two-choices on EWMA scan latency among
+// version-consistent replicas), hedges to a different replica, fails
+// over across the set on error/timeout/open breaker within the query's
+// remaining budget, and only marks the answer partial when every
+// replica of a range is exhausted — one dead node per range costs a
+// failover, not answer completeness.
 //
 // All methods are safe for concurrent use.
 type Router struct {
-	cfg     Config
-	remotes []*RemoteShard
-	// breakers is one circuit breaker per remote slot (nil when
-	// Config.Breaker was nil).
-	breakers []*resil.Breaker
-	stats    []*remoteStat
-	reg      *obs.Registry
+	cfg    Config
+	ranges []*rangeSet
+	reg    *obs.Registry
+	hc     *http.Client
+
+	// rng drives power-of-two-choices primary sampling.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	// version is the quorum-agreed entity version — what SnapshotVersion
-	// reports and the serve cache namespaces keys by. It only moves
-	// forward, and only once Quorum nodes have reported the new version
-	// (see CheckHealth), so a half-rolled-out checkpoint never flips the
+	// reports, what gathers pin replica selection to, and what the serve
+	// cache namespaces keys by. It only moves forward, and only once
+	// Quorum ranges have a live replica on the new version (see
+	// CheckHealth), so a half-rolled-out checkpoint never flips the
 	// cache back and forth.
 	version atomic.Uint64
 
-	// scanWG tracks every remote-scan goroutine — scatter and hedge —
-	// so Close can await stragglers; closeMu serialises new gathers
-	// against Close (see shard.Engine for the pattern).
+	// scanWG tracks every remote-scan goroutine — range gathers,
+	// attempts, hedges — so Close can await stragglers; closeMu
+	// serialises new gathers against Close (see shard.Engine for the
+	// pattern).
 	scanWG  sync.WaitGroup
 	closeMu sync.RWMutex
 	closed  bool
 }
 
 // NewRouter validates cfg and builds the router. It performs no I/O:
-// call Start (or CheckHealth) to populate node health and the served
+// call Start (or CheckHealth) to populate replica health and the served
 // version.
 func NewRouter(cfg Config) (*Router, error) {
-	if len(cfg.Remotes) == 0 {
-		return nil, fmt.Errorf("cluster: Config.Remotes is required")
+	ranges := cfg.Ranges
+	if len(cfg.Remotes) > 0 {
+		if len(ranges) > 0 {
+			return nil, fmt.Errorf("cluster: Config.Remotes and Config.Ranges are mutually exclusive")
+		}
+		ranges = make([][]string, len(cfg.Remotes))
+		for i, addr := range cfg.Remotes {
+			ranges[i] = []string{addr}
+		}
+	}
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("cluster: a topology (Config.Remotes or Config.Ranges) is required")
+	}
+	for i, reps := range ranges {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("cluster: range %d has no replicas", i)
+		}
 	}
 	if cfg.Embed == nil {
 		return nil, fmt.Errorf("cluster: Config.Embed is required")
 	}
-	if cfg.Quorum < 0 || cfg.Quorum > len(cfg.Remotes) {
-		return nil, fmt.Errorf("cluster: Quorum %d out of range for %d remotes", cfg.Quorum, len(cfg.Remotes))
+	if cfg.Quorum < 0 || cfg.Quorum > len(ranges) {
+		return nil, fmt.Errorf("cluster: Quorum %d out of range for %d ranges", cfg.Quorum, len(ranges))
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
 	}
 	hc := cfg.Client
 	if hc == nil {
 		hc = NewHTTPClient()
 	}
 	rt := &Router{
-		cfg:   cfg,
-		reg:   cfg.Metrics,
-		stats: newRemoteStats(cfg.Metrics, cfg.Remotes),
+		cfg: cfg,
+		reg: cfg.Metrics,
+		hc:  hc,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
-	rt.remotes = make([]*RemoteShard, len(cfg.Remotes))
-	for i, addr := range cfg.Remotes {
-		rt.remotes[i] = NewRemoteShard(addr, hc)
-	}
-	if cfg.Breaker != nil {
-		rt.breakers = make([]*resil.Breaker, len(rt.remotes))
-		for i := range rt.breakers {
-			b := resil.NewBreaker(*cfg.Breaker)
-			rt.breakers[i] = b
-			cfg.Metrics.GaugeFunc("halk_remote_breaker_state",
-				"Circuit breaker state per remote node (0=closed, 1=open, 2=half-open).",
-				func() float64 { return float64(b.State()) },
-				obs.L("node", cfg.Remotes[i]))
+	rt.ranges = make([]*rangeSet, len(ranges))
+	for i, reps := range ranges {
+		rl := obs.L("range", strconv.Itoa(i))
+		rs := &rangeSet{
+			index:     i,
+			failovers: cfg.Metrics.Counter("halk_replica_failovers_total", "Scan attempts re-issued to a sibling replica after a failure.", rl),
+			flips:     cfg.Metrics.Counter("halk_replica_primary_flips_total", "Times the range's preferred primary replica changed.", rl),
 		}
+		rs.primary.Store(-1)
+		for j, addr := range reps {
+			rep := &replica{
+				addr:   addr,
+				idx:    j,
+				remote: NewRemoteShard(addr, hc),
+				st:     newReplicaStat(cfg.Metrics, i, addr),
+			}
+			if cfg.Breaker != nil {
+				b := resil.NewBreaker(*cfg.Breaker)
+				rep.breaker = b
+				cfg.Metrics.GaugeFunc("halk_replica_breaker_state",
+					"Circuit breaker state per replica (0=closed, 1=open, 2=half-open).",
+					func() float64 { return float64(b.State()) },
+					obs.L("node", addr), rl)
+			}
+			rs.replicas = append(rs.replicas, rep)
+		}
+		rt.ranges[i] = rs
 	}
 	return rt, nil
 }
 
-// quorum resolves the configured quorum (0 = majority).
+// Topology reports the configured replica topology: element i is range
+// i's replica addresses.
+func (rt *Router) Topology() [][]string {
+	out := make([][]string, len(rt.ranges))
+	for i, rs := range rt.ranges {
+		for _, rep := range rs.replicas {
+			out[i] = append(out[i], rep.addr)
+		}
+	}
+	return out
+}
+
+// quorum resolves the configured quorum (0 = majority of ranges).
 func (rt *Router) quorum() int {
 	if rt.cfg.Quorum > 0 {
 		return rt.cfg.Quorum
 	}
-	return len(rt.remotes)/2 + 1
+	return len(rt.ranges)/2 + 1
 }
 
 // Start launches the health loop: an immediate sweep, then one every
-// HealthEvery until ctx dies. The loop keeps per-node liveness, ranges
-// and versions fresh, and flips the served version when a quorum of
-// nodes reports a newer one (the coordinated-checkpoint-rollout seam).
+// HealthEvery until ctx dies. The loop keeps per-replica liveness,
+// ranges and versions fresh, and flips the served version when a quorum
+// of ranges has a replica on a newer one (the coordinated
+// checkpoint-rollout seam).
 func (rt *Router) Start(ctx context.Context) {
 	every := rt.cfg.HealthEvery
 	if every <= 0 {
@@ -167,127 +276,212 @@ func (rt *Router) Start(ctx context.Context) {
 	}()
 }
 
-// CheckHealth probes every node's /v1/healthz concurrently, records
-// per-node liveness/range/version, advances the quorum version, and
-// reports how many nodes answered. Called by the Start loop; also
+// CheckHealth probes every replica's /v1/healthz concurrently, records
+// per-replica liveness/range/version, advances the quorum version, and
+// reports how many replicas answered. Called by the Start loop; also
 // useful synchronously (process startup, tests).
+//
+// The rollout rule is computed over ranges, not nodes: a range is ready
+// on version v when at least one of its live replicas reports v or
+// newer, and the served version advances to the highest v at least
+// Quorum ranges are ready on. With gathers pinned to replicas matching
+// the served version, a staggered rollout that keeps one replica per
+// range on each version serves whole answers throughout.
 func (rt *Router) CheckHealth(ctx context.Context) int {
 	var wg sync.WaitGroup
-	healths := make([]*Health, len(rt.remotes))
-	for i := range rt.remotes {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			h, err := rt.remotes[i].Health(ctx)
-			if err != nil {
-				rt.stats[i].setHealth(nil, false)
-				return
-			}
-			healths[i] = h
-			rt.stats[i].setHealth(h, true)
-		}(i)
+	var up atomic.Int64
+	for _, rs := range rt.ranges {
+		for _, rep := range rs.replicas {
+			wg.Add(1)
+			go func(rep *replica) {
+				defer wg.Done()
+				h, err := rep.remote.Health(ctx)
+				if err != nil {
+					rep.st.setHealth(nil, false)
+					return
+				}
+				rep.st.setHealth(h, true)
+				up.Add(1)
+			}(rep)
+		}
 	}
 	wg.Wait()
 
-	up := 0
-	versions := make([]uint64, 0, len(healths))
-	for _, h := range healths {
-		if h == nil {
+	// Quorum flip: the highest version at least Quorum ranges have a
+	// live replica on. rangeMax[i] is range i's best live version;
+	// readiness on v is monotone in v, so scanning candidate versions
+	// descending finds the flip target.
+	rangeMax := make([]uint64, 0, len(rt.ranges))
+	var candidates []uint64
+	for _, rs := range rt.ranges {
+		var best uint64
+		for _, rep := range rs.replicas {
+			_, _, v, healthy := rep.st.health()
+			if healthy {
+				if v > best {
+					best = v
+				}
+				candidates = append(candidates, v)
+			}
+		}
+		rangeMax = append(rangeMax, best)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] > candidates[j] })
+	q := rt.quorum()
+	for _, cand := range candidates {
+		ready := 0
+		for _, best := range rangeMax {
+			if best >= cand {
+				ready++
+			}
+		}
+		if ready < q {
 			continue
 		}
-		up++
-		versions = append(versions, h.EntityVersion)
-	}
-	// Quorum flip: the highest version at least Quorum nodes have
-	// reached. Sorting descending, that is the q-th highest report.
-	if q := rt.quorum(); len(versions) >= q {
-		sort.Slice(versions, func(i, j int) bool { return versions[i] > versions[j] })
-		cand := versions[q-1]
 		for {
 			cur := rt.version.Load()
 			if cand <= cur || rt.version.CompareAndSwap(cur, cand) {
 				break
 			}
 		}
+		break
 	}
-	return up
+	return int(up.Load())
 }
 
 // SnapshotVersion reports the quorum-agreed entity version (0 before
 // the first successful health sweep). serve namespaces answer-cache
 // keys by it, so flipping it on rollout makes every pre-rollout entry
-// unreachable at once.
+// unreachable at once; gathers pin replica selection to it, so a
+// mid-rollout topology keeps answering whole from the replicas still
+// (or already) on the served version.
 func (rt *Router) SnapshotVersion() uint64 { return rt.version.Load() }
 
-// NumShards reports the topology width — one "shard" per remote node.
-func (rt *Router) NumShards() int { return len(rt.remotes) }
+// NumShards reports the topology width — one "shard" per entity range.
+func (rt *Router) NumShards() int { return len(rt.ranges) }
+
+// NumReplicas reports range ri's replica-set size.
+func (rt *Router) NumReplicas(ri int) int { return len(rt.ranges[ri].replicas) }
 
 // Metrics returns the registry the router's counters live on.
 func (rt *Router) Metrics() *obs.Registry { return rt.reg }
 
-// ShardStats adapts the per-remote counters to the serve stats shape:
-// each remote appears as one shard with its hosted range (as of the
-// last health check), scan/timeout/error/hedge counters and breaker
-// snapshot.
+// ShardStats adapts the topology to the serve stats shape: each range
+// appears as one shard with its hosted slice and the replica set's
+// summed outcome counters; the breaker snapshot is the current
+// primary's. Per-replica detail lives on ReplicaStats.
 func (rt *Router) ShardStats() []shard.ShardStats {
-	out := make([]shard.ShardStats, len(rt.remotes))
-	for i, st := range rt.stats {
-		lo, hi, _, _ := st.health()
-		out[i] = shard.ShardStats{
-			Shard:        i,
-			Lo:           lo,
-			Hi:           hi,
-			Scans:        st.scans.Value(),
-			Skips:        st.timeouts.Value(),
-			Errors:       st.errors.Value(),
-			BreakerSkips: st.breakerSkips.Value(),
-			Hedges:       st.hedges.Value(),
-			HedgeWins:    st.hedgeWins.Value(),
-			LastScanMs:   st.lastMs.Value(),
-			MeanScanMs:   st.scanMs.Mean(),
-			MaxScanMs:    st.maxMs.Value(),
+	out := make([]shard.ShardStats, len(rt.ranges))
+	for i, rs := range rt.ranges {
+		lo, hi := rs.lohi()
+		s := shard.ShardStats{Shard: i, Lo: lo, Hi: hi}
+		var meanSum float64
+		for _, rep := range rs.replicas {
+			s.Scans += rep.st.scans.Value()
+			s.Skips += rep.st.timeouts.Value()
+			s.Errors += rep.st.errors.Value()
+			s.BreakerSkips += rep.st.breakerSkips.Value()
+			s.Hedges += rep.st.hedges.Value()
+			s.HedgeWins += rep.st.hedgeWins.Value()
+			if ms := rep.st.lastMs.Value(); ms > s.LastScanMs {
+				s.LastScanMs = ms
+			}
+			if ms := rep.st.maxMs.Value(); ms > s.MaxScanMs {
+				s.MaxScanMs = ms
+			}
+			meanSum += rep.st.scanMs.Mean()
 		}
-		if rt.breakers != nil {
-			bs := rt.breakers[i].Stats()
-			out[i].Breaker = &bs
+		s.MeanScanMs = meanSum / float64(len(rs.replicas))
+		if p := rs.primary.Load(); p >= 0 && rs.replicas[p].breaker != nil {
+			bs := rs.replicas[p].breaker.Stats()
+			s.Breaker = &bs
+		} else if rs.replicas[0].breaker != nil {
+			bs := rs.replicas[0].breaker.Stats()
+			s.Breaker = &bs
 		}
+		out[i] = s
 	}
 	return out
 }
 
-// Close waits for every in-flight remote scan — scatter and hedge — to
-// drain. Rankings issued after Close begins are refused with
-// shard.ErrClosed. Idempotent.
+// ReplicaStats reports the replica topology for /v1/stats: per range,
+// the hosted slice, current primary, failover/flip counters and every
+// replica's health, version, outcome counters and latency EWMA.
+func (rt *Router) ReplicaStats() []serve.RangeReplicaStats {
+	out := make([]serve.RangeReplicaStats, len(rt.ranges))
+	for i, rs := range rt.ranges {
+		lo, hi := rs.lohi()
+		rr := serve.RangeReplicaStats{
+			Range:        i,
+			Lo:           lo,
+			Hi:           hi,
+			Failovers:    rs.failovers.Value(),
+			PrimaryFlips: rs.flips.Value(),
+		}
+		p := rs.primary.Load()
+		if p < 0 {
+			p = 0
+		}
+		rr.Primary = rs.replicas[p].addr
+		for j, rep := range rs.replicas {
+			_, _, version, healthy := rep.st.health()
+			snap := serve.ReplicaSnapshot{
+				Node:          rep.addr,
+				Healthy:       healthy,
+				EntityVersion: version,
+				Primary:       int32(j) == p,
+				Scans:         rep.st.scans.Value(),
+				Timeouts:      rep.st.timeouts.Value(),
+				Errors:        rep.st.errors.Value(),
+				BreakerSkips:  rep.st.breakerSkips.Value(),
+				Hedges:        rep.st.hedges.Value(),
+				HedgeWins:     rep.st.hedgeWins.Value(),
+				EwmaMs:        rep.st.ewmaMs(),
+			}
+			if rep.breaker != nil {
+				bs := rep.breaker.Stats()
+				snap.Breaker = &bs
+			}
+			rr.Replicas = append(rr.Replicas, snap)
+		}
+		out[i] = rr
+	}
+	return out
+}
+
+// Close waits for every in-flight remote scan — gathers, attempts,
+// hedges — to drain, then drops the client's idle connections.
+// Rankings issued after Close begins are refused with shard.ErrClosed.
+// Idempotent.
 func (rt *Router) Close() {
 	rt.closeMu.Lock()
 	rt.closed = true
 	rt.closeMu.Unlock()
 	rt.scanWG.Wait()
+	rt.hc.CloseIdleConnections()
 }
 
-// remoteLocal is one node's contribution to a gather — the cluster
-// analogue of the engine's per-shard localTopK, with the same
-// skipped/failed/tripped outcome classification feeding the breakers.
+// remoteLocal is one range's contribution to a gather — the cluster
+// analogue of the engine's per-shard localTopK.
 type remoteLocal struct {
 	ids     []kg.EntityID
 	d       []float64
 	version uint64
-	partial bool // node answered but degraded (local sub-shard skipped)
-	skipped bool
-	failed  bool // remote-local fault: deadline, transport error, non-2xx
-	tripped bool // refused up front by an open breaker; no outcome
+	partial bool // replica answered but degraded (local sub-shard skipped)
+	skipped bool // the whole replica set was exhausted
+	failed  bool // at least one replica-local fault contributed
 }
 
 // gatherBound is the router's shared pruning bound: the smallest k-th
-// best distance any node has returned so far this query. Requests ship
-// its current value so late scans (hedges, stragglers under retry)
-// prune server-side.
+// best distance any range has returned so far this query. Requests ship
+// its current value so late scans (hedges, failover attempts) prune
+// server-side.
 type gatherBound struct{ bits atomic.Uint64 }
 
 func (b *gatherBound) init()         { b.bits.Store(math.Float64bits(math.Inf(1))) }
 func (b *gatherBound) load() float64 { return math.Float64frombits(b.bits.Load()) }
 
-// wire returns the bound in wire form: 0 when no node has answered yet.
+// wire returns the bound in wire form: 0 when no range has answered yet.
 func (b *gatherBound) wire() float64 {
 	v := b.load()
 	if math.IsInf(v, 1) {
@@ -309,12 +503,12 @@ func (b *gatherBound) update(v float64) {
 	}
 }
 
-// RankTopK embeds the query, scatters the wire arcs to every healthy
-// remote, and merges the local top-K lists into the global k best —
-// the serve.Ranker entry point. A node that misses its deadline, fails,
-// or sits behind an open breaker is skipped and the result degrades to
-// Partial with the surviving nodes' answers; only when every node is
-// lost does the gather fail (shard.ErrAllShardsSkipped).
+// RankTopK embeds the query, scatters the wire arcs to every range's
+// replica set, and merges the local top-K lists into the global k best
+// — the serve.Ranker entry point. Within a range, failures fail over
+// across the replica set; the result degrades to Partial only when a
+// whole set is exhausted, and the gather fails
+// (shard.ErrAllShardsSkipped) only when every range is lost.
 func (rt *Router) RankTopK(ctx context.Context, n *query.Node, k int) (*shard.Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("cluster: k must be positive, got %d", k)
@@ -327,7 +521,7 @@ func (rt *Router) RankTopK(ctx context.Context, n *query.Node, k int) (*shard.Re
 	var gb gatherBound
 	gb.init()
 	tr := obs.FromContext(ctx)
-	locals := make([]remoteLocal, len(rt.remotes))
+	locals := make([]remoteLocal, len(rt.ranges))
 	scatterStart := time.Now()
 	var wg sync.WaitGroup
 	rt.closeMu.RLock()
@@ -335,50 +529,22 @@ func (rt *Router) RankTopK(ctx context.Context, n *query.Node, k int) (*shard.Re
 		rt.closeMu.RUnlock()
 		return nil, shard.ErrClosed
 	}
-	for i := range rt.remotes {
-		if rt.breakers != nil && !rt.breakers[i].Allow() {
-			locals[i].skipped = true
-			locals[i].tripped = true
-			rt.stats[i].breakerSkips.Inc()
-			continue
-		}
+	for i := range rt.ranges {
 		wg.Add(1)
 		rt.scanWG.Add(1)
 		go func(i int) {
 			defer rt.scanWG.Done()
 			defer wg.Done()
-			rt.runRemote(ctx, i, specs, k, &gb, &locals[i])
+			rt.runRange(ctx, rt.ranges[i], specs, k, &gb, &locals[i])
 		}(i)
 	}
 	rt.closeMu.RUnlock()
 	wg.Wait()
 	tr.Observe(obs.StageShardScatter, time.Since(scatterStart))
 	if err := ctx.Err(); err != nil {
-		// The whole query died; remote outcomes under a dead parent
-		// carry no signal, but admitted half-open probes must be
-		// released (see shard.Engine.run).
-		if rt.breakers != nil {
-			for i := range locals {
-				if !locals[i].tripped {
-					rt.breakers[i].Cancel()
-				}
-			}
-		}
+		// The whole query died; per-attempt breaker accounting already
+		// classifies outcomes under a dead parent as no-blame.
 		return nil, err
-	}
-	if rt.breakers != nil {
-		for i := range locals {
-			switch {
-			case locals[i].tripped:
-				// Never called; no outcome.
-			case locals[i].failed:
-				rt.breakers[i].Failure()
-			case !locals[i].skipped:
-				rt.breakers[i].Success()
-			default:
-				rt.breakers[i].Cancel()
-			}
-		}
 	}
 	mergeStart := time.Now()
 	res, err := rt.merge(locals, k)
@@ -386,75 +552,219 @@ func (rt *Router) RankTopK(ctx context.Context, n *query.Node, k int) (*shard.Re
 	return res, err
 }
 
-// runRemote runs one node's scan, optionally racing a hedge after the
-// node's hedge delay — the remote mirror of shard.Engine.runShard. The
-// per-remote deadline is applied once here and shared by primary and
-// hedge, so a wedged node bounds the gather at ~ScanTimeout.
-func (rt *Router) runRemote(ctx context.Context, i int, specs []ArcSpec, k int, gb *gatherBound, out *remoteLocal) {
-	sctx := ctx
-	var cancel context.CancelFunc
-	if rt.cfg.ScanTimeout > 0 {
-		sctx, cancel = context.WithTimeout(ctx, rt.cfg.ScanTimeout)
-	} else {
-		sctx, cancel = context.WithCancel(ctx)
+// plan orders range rs's replicas for one gather: the primary first —
+// power-of-two-choices on EWMA scan latency among replicas whose
+// last-known entity version matches the served one (all replicas when
+// none match, so a fully-lagging range still answers and the merge's
+// skew guard flags it) — then the remaining replicas, version matches
+// before stragglers, each tier ascending by EWMA. Failover and hedging
+// walk this order.
+func (rt *Router) plan(rs *rangeSet) []*replica {
+	reps := rs.replicas
+	if len(reps) == 1 {
+		return reps
 	}
-	defer cancel() // the losing scan is abandoned, not awaited
-	if rt.cfg.HedgeDelay <= 0 {
-		rt.scanRemote(sctx, ctx, i, specs, k, gb, out)
-		return
+	pinned := rt.version.Load()
+	match := func(rep *replica) bool {
+		return pinned == 0 || rep.st.version.Load() == pinned
 	}
+	pool := make([]*replica, 0, len(reps))
+	for _, rep := range reps {
+		if match(rep) {
+			pool = append(pool, rep)
+		}
+	}
+	if len(pool) == 0 {
+		pool = reps
+	}
+	primary := pool[0]
+	if len(pool) > 1 {
+		rt.rngMu.Lock()
+		i := rt.rng.Intn(len(pool))
+		j := rt.rng.Intn(len(pool) - 1)
+		rt.rngMu.Unlock()
+		if j >= i {
+			j++
+		}
+		primary = pool[i]
+		if pool[j].st.ewma() < primary.st.ewma() {
+			primary = pool[j]
+		}
+	}
+	if old := rs.primary.Swap(int32(primary.idx)); old >= 0 && old != int32(primary.idx) {
+		rs.flips.Inc()
+	}
+	order := make([]*replica, 0, len(reps))
+	order = append(order, primary)
+	rest := make([]*replica, 0, len(reps)-1)
+	for _, rep := range reps {
+		if rep != primary {
+			rest = append(rest, rep)
+		}
+	}
+	sort.SliceStable(rest, func(a, b int) bool {
+		ma, mb := match(rest[a]), match(rest[b])
+		if ma != mb {
+			return ma
+		}
+		ea, eb := rest[a].st.ewma(), rest[b].st.ewma()
+		if ea != eb {
+			return ea < eb
+		}
+		return rest[a].idx < rest[b].idx
+	})
+	return append(order, rest...)
+}
 
-	type scanDone struct {
-		local remoteLocal
-		hedge bool
-	}
-	results := make(chan scanDone, 2)
-	launch := func(hedge bool) {
+// attemptResult is one replica attempt's outcome inside a range gather.
+type attemptResult struct {
+	local remoteLocal
+	rep   *replica
+	hedge bool
+}
+
+// runRange gathers one range's local top-K from its replica set: the
+// planned primary scans first; a failure fails over to the next
+// replica in plan order (within the query's remaining budget), an
+// unanswered primary is hedged to the next replica after the hedge
+// delay — a single-replica range hedges back to its only node, the
+// pre-replica behavior — and the first successful attempt wins. The
+// range is skipped — degrading the merged answer to partial — only
+// when every replica is exhausted. Each attempt runs under its own
+// ScanTimeout-derived deadline; losing attempts are abandoned
+// (cancelled), not awaited.
+func (rt *Router) runRange(ctx context.Context, rs *rangeSet, specs []ArcSpec, k int, gb *gatherBound, out *remoteLocal) {
+	order := rt.plan(rs)
+	// +1: a single-replica range's hedge re-targets its only node, so
+	// attempts can exceed len(order); every attempt must be able to
+	// deliver without blocking after runRange returns.
+	results := make(chan attemptResult, len(order)+1)
+	next := 0
+	inflight := 0
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	// spawn starts one attempt against rep if its breaker admits it.
+	spawn := func(rep *replica, hedge bool) bool {
+		if rep.breaker != nil && !rep.breaker.Allow() {
+			rep.st.breakerSkips.Inc()
+			return false
+		}
+		actx := ctx
+		var cancel context.CancelFunc
+		if rt.cfg.ScanTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, rt.cfg.ScanTimeout)
+		} else {
+			actx, cancel = context.WithCancel(ctx)
+		}
+		cancels = append(cancels, cancel)
+		inflight++
 		rt.scanWG.Add(1)
 		go func() {
 			defer rt.scanWG.Done()
 			var l remoteLocal
-			rt.scanRemote(sctx, ctx, i, specs, k, gb, &l)
-			results <- scanDone{local: l, hedge: hedge}
+			rt.scanReplica(actx, ctx, rep, specs, k, gb, &l)
+			rt.settleBreaker(rep, &l, ctx)
+			results <- attemptResult{local: l, rep: rep, hedge: hedge}
 		}()
+		return true
 	}
-	launch(false)
-	timer := time.NewTimer(rt.hedgeDelayFor(i))
-	defer timer.Stop()
-	select {
-	case r := <-results:
-		*out = r.local
-		return
-	case <-timer.C:
-		rt.stats[i].hedges.Inc()
-		launch(true)
-	}
-	first := <-results
-	if !first.local.skipped {
-		*out = first.local
-		if first.hedge {
-			rt.stats[i].hedgeWins.Inc()
+
+	// launch starts the next breaker-admitted replica in plan order,
+	// returning it (nil when the order is exhausted). Attempts refused
+	// by an open breaker are skipped and counted, which is itself a
+	// failover step: the request goes straight to the next sibling.
+	launch := func(hedge bool) *replica {
+		for next < len(order) {
+			rep := order[next]
+			next++
+			if spawn(rep, hedge) {
+				return rep
+			}
 		}
+		return nil
+	}
+
+	first := launch(false)
+	if first == nil && inflight == 0 {
+		// Every replica sat behind an open breaker: immediate skip.
+		out.skipped = true
 		return
 	}
-	second := <-results
-	if !second.local.skipped {
-		*out = second.local
-		if second.hedge {
-			rt.stats[i].hedgeWins.Inc()
+	var hedgeC <-chan time.Time
+	if rt.cfg.HedgeDelay > 0 && first != nil {
+		timer := time.NewTimer(rt.hedgeDelayFor(first))
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	failed := false
+	for inflight > 0 {
+		select {
+		case r := <-results:
+			inflight--
+			if !r.local.skipped {
+				*out = r.local
+				if r.hedge {
+					r.rep.st.hedgeWins.Inc()
+				}
+				return
+			}
+			failed = failed || r.local.failed
+			if ctx.Err() != nil {
+				out.skipped, out.failed = true, failed
+				return
+			}
+			// Failover: the attempt is lost, the budget lives — walk to
+			// the next replica of the set.
+			if rep := launch(false); rep != nil {
+				rs.failovers.Inc()
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			rep := launch(true)
+			if rep == nil && len(order) == 1 && spawn(order[0], true) {
+				// Single-replica range: no sibling to hedge to, so the
+				// hedge re-issues to the same node (PR 6 behavior).
+				rep = order[0]
+			}
+			if rep != nil {
+				rep.st.hedges.Inc()
+			}
+		case <-ctx.Done():
+			out.skipped, out.failed = true, failed
+			return
 		}
-		return
 	}
-	out.skipped = true
-	out.failed = first.local.failed || second.local.failed
+	out.skipped, out.failed = true, failed
 }
 
-// hedgeDelayFor derives remote i's hedge delay: the configured floor
-// raised to the node's observed p99 scan latency, capped at the scan
-// timeout.
-func (rt *Router) hedgeDelayFor(i int) time.Duration {
+// settleBreaker feeds one attempt's outcome to the replica's breaker:
+// success closes/credits it, a replica-local fault counts against it,
+// and an attempt abandoned without an outcome (the query died, or a
+// hedge race was lost) releases any half-open probe it was admitted as.
+func (rt *Router) settleBreaker(rep *replica, l *remoteLocal, qctx context.Context) {
+	if rep.breaker == nil {
+		return
+	}
+	switch {
+	case !l.skipped:
+		rep.breaker.Success()
+	case l.failed && qctx.Err() == nil:
+		rep.breaker.Failure()
+	default:
+		rep.breaker.Cancel()
+	}
+}
+
+// hedgeDelayFor derives a replica's hedge delay: the configured floor
+// raised to its observed p99 scan latency, capped at the scan timeout.
+func (rt *Router) hedgeDelayFor(rep *replica) time.Duration {
 	d := rt.cfg.HedgeDelay
-	if p99 := rt.stats[i].scanMs.Quantile(0.99); p99 > 0 {
+	if p99 := rep.st.scanMs.Quantile(0.99); p99 > 0 {
 		if observed := time.Duration(p99 * float64(time.Millisecond)); observed > d {
 			d = observed
 		}
@@ -465,53 +775,59 @@ func (rt *Router) hedgeDelayFor(i int) time.Duration {
 	return d
 }
 
-// scanRemote issues one scan request under sctx (the remote-scoped
-// context carrying the per-remote deadline) and classifies the outcome;
-// qctx is the whole query's context, consulted to tell "this remote is
-// slow" (remote-local fault) from "the query died" (no outcome) and
-// "a hedge race was lost" (no outcome).
-func (rt *Router) scanRemote(sctx, qctx context.Context, i int, specs []ArcSpec, k int, gb *gatherBound, out *remoteLocal) {
+// scanReplica issues one scan attempt under actx (the attempt-scoped
+// context carrying the per-attempt deadline) and classifies the
+// outcome; qctx is the whole query's context, consulted to tell "this
+// replica is slow" (replica-local fault, feeds failover and the
+// breaker) from "the query died" and "a hedge race was lost" (no
+// outcome, no blame).
+func (rt *Router) scanReplica(actx, qctx context.Context, rep *replica, specs []ArcSpec, k int, gb *gatherBound, out *remoteLocal) {
 	req := &ScanRequest{Arcs: specs, K: k, Bound: gb.wire()}
-	if dl, ok := sctx.Deadline(); ok {
+	if dl, ok := actx.Deadline(); ok {
 		if ms := int(time.Until(dl) / time.Millisecond); ms > 0 {
 			req.TimeoutMS = ms
 		}
 	}
 	start := time.Now()
-	resp, err := rt.remotes[i].Scan(sctx, req)
+	resp, err := rep.remote.Scan(actx, req)
 	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
 		out.skipped = true
 		switch {
 		case qctx.Err() != nil:
-			// The whole query died; no remote is at fault.
+			// The whole query died; no replica is at fault.
 		case errors.Is(err, context.DeadlineExceeded):
 			out.failed = true
-			rt.stats[i].timeouts.Inc()
+			rep.st.timeouts.Inc()
 		case errors.Is(err, context.Canceled):
-			// Lost hedge race; the result is discarded, not blamed.
+			// Lost a hedge/failover race; the result is discarded, not
+			// blamed.
 		default:
 			out.failed = true
-			rt.stats[i].errors.Inc()
+			rep.st.errors.Inc()
 		}
 		return
 	}
 	out.ids, out.d = resp.IDs, resp.Dists
 	out.version = resp.Version
 	out.partial = resp.Partial
+	rep.st.setVersion(resp.Version)
 	if len(resp.Dists) == k && !resp.Partial {
 		// A full non-degraded local list: its k-th best upper-bounds the
-		// global k-th best, so later scans (hedges) can prune against it.
+		// global k-th best, so later scans (hedges, failovers) can prune
+		// against it.
 		gb.update(resp.Dists[k-1])
 	}
-	rt.stats[i].record(elapsed)
+	rep.st.record(elapsed)
 }
 
-// merge folds the nodes' sorted local lists into the global top k with
+// merge folds the ranges' sorted local lists into the global top k with
 // the engine's (distance, ID) ordering. The result is Partial when any
-// node was skipped, any node answered degraded, or the answering nodes
-// disagree on their snapshot version (mid-rollout skew: the merged list
-// mixes two embedding tables, so it must not be cached).
+// range was skipped (its whole replica set exhausted), any range
+// answered degraded, or the answering ranges disagree on their snapshot
+// version (mid-rollout skew that pinning could not avoid: the merged
+// list would mix two embedding tables, so it must be flagged and never
+// cached).
 func (rt *Router) merge(locals []remoteLocal, k int) (*shard.Result, error) {
 	res := &shard.Result{Version: rt.version.Load()}
 	total := 0

@@ -1,88 +1,143 @@
 package cluster
 
 import (
+	"math"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"github.com/halk-kg/halk/internal/obs"
 )
 
-// remoteStat holds one remote slot's counters as handles into the obs
-// registry — the cluster mirror of the engine's per-shard stats, one
-// series family per outcome, labelled node="addr" so /metrics tells the
-// remotes apart. Everything is atomic (or under the small range mutex),
-// so scatter goroutines publish and the stats reader observes without
-// blocking a gather.
-type remoteStat struct {
-	scans        *obs.Counter   // completed remote scans
-	timeouts     *obs.Counter   // scans abandoned on the per-remote deadline
+// ewmaAlpha is the weight of the newest sample in the per-replica
+// latency EWMA the primary selection compares. 0.2 keeps roughly the
+// last ~10 scans relevant: fast enough to notice a degrading replica
+// within a few queries, slow enough that one GC pause does not flip the
+// primary.
+const ewmaAlpha = 0.2
+
+// replicaStat holds one replica's counters as handles into the obs
+// registry — the replica mirror of the engine's per-shard stats, one
+// series family per outcome, labelled node="addr" and range="i" so
+// /metrics tells the replicas of a range apart. Everything is atomic
+// (or under the small health mutex), so scatter goroutines publish and
+// the stats reader observes without blocking a gather.
+type replicaStat struct {
+	scans        *obs.Counter   // completed replica scans
+	timeouts     *obs.Counter   // scans abandoned on the per-attempt deadline
 	errors       *obs.Counter   // transport failures and non-2xx replies
-	breakerSkips *obs.Counter   // scans refused up front by an open breaker
-	hedges       *obs.Counter   // hedge scans issued
-	hedgeWins    *obs.Counter   // gathers where the hedge finished first
+	breakerSkips *obs.Counter   // attempts refused up front by an open breaker
+	hedges       *obs.Counter   // hedge scans this replica received
+	hedgeWins    *obs.Counter   // gathers this replica's hedge scan won
 	scanMs       *obs.Histogram // completed-scan latency
 	lastMs       *obs.Gauge
 	maxMs        *obs.Gauge
 	up           *obs.Gauge // 1 = last health check answered, 0 = down
-	versionG     *obs.Gauge // entity version the node last reported
+	versionG     *obs.Gauge // entity version the replica last reported
 
-	// Range and version as of the last successful health check (the
-	// router's view of the node, exported through ShardStats).
+	// ewmaBits is the scan-latency EWMA in ms (float64 bits; 0 =
+	// unseeded). The router's power-of-two-choices primary selection
+	// compares it, so it must be readable without taking a lock.
+	ewmaBits atomic.Uint64
+
+	// version is the replica's last-known entity version, fed by both
+	// health sweeps and scan responses; the router pins gathers to
+	// replicas whose known version matches the served one.
+	version atomic.Uint64
+
+	// Range and liveness as of the last health check (the router's view
+	// of the replica, exported through ShardStats/ReplicaStats).
 	mu      sync.Mutex
 	lo, hi  int
-	version uint64
 	healthy bool
 }
 
-// newRemoteStats registers the per-remote series (labelled node="addr")
-// on reg.
-func newRemoteStats(reg *obs.Registry, addrs []string) []*remoteStat {
-	out := make([]*remoteStat, len(addrs))
-	for i, addr := range addrs {
-		l := obs.L("node", addr)
-		out[i] = &remoteStat{
-			scans:        reg.Counter("halk_remote_scans_total", "Completed remote shard scans.", l),
-			timeouts:     reg.Counter("halk_remote_timeouts_total", "Remote scans abandoned on the per-remote deadline.", l),
-			errors:       reg.Counter("halk_remote_errors_total", "Remote scans failed by transport errors or non-2xx replies.", l),
-			breakerSkips: reg.Counter("halk_remote_breaker_skips_total", "Remote scans refused up front by an open circuit breaker.", l),
-			hedges:       reg.Counter("halk_remote_hedges_total", "Hedge scans issued after the per-remote hedge delay.", l),
-			hedgeWins:    reg.Counter("halk_remote_hedge_wins_total", "Gathers where the hedge scan finished before the primary.", l),
-			scanMs:       reg.Histogram("halk_remote_scan_duration_ms", "Latency of completed remote scans in milliseconds.", obs.LatencyBuckets, l),
-			lastMs:       reg.Gauge("halk_remote_last_scan_ms", "Latency of the most recent completed remote scan.", l),
-			maxMs:        reg.Gauge("halk_remote_max_scan_ms", "Worst completed remote-scan latency since process start.", l),
-			up:           reg.Gauge("halk_remote_up", "1 when the node answered its last health check, else 0.", l),
-			versionG:     reg.Gauge("halk_remote_entity_version", "Entity-table version the node last reported.", l),
-		}
+// newReplicaStat registers replica (ri, addr)'s series on reg.
+func newReplicaStat(reg *obs.Registry, ri int, addr string) *replicaStat {
+	ls := []obs.Label{obs.L("node", addr), obs.L("range", strconv.Itoa(ri))}
+	return &replicaStat{
+		scans:        reg.Counter("halk_replica_scans_total", "Completed replica scans.", ls...),
+		timeouts:     reg.Counter("halk_replica_timeouts_total", "Replica scans abandoned on the per-attempt deadline.", ls...),
+		errors:       reg.Counter("halk_replica_errors_total", "Replica scans failed by transport errors or non-2xx replies.", ls...),
+		breakerSkips: reg.Counter("halk_replica_breaker_skips_total", "Replica attempts refused up front by an open circuit breaker.", ls...),
+		hedges:       reg.Counter("halk_replica_hedges_total", "Hedge scans issued to this replica after the hedge delay.", ls...),
+		hedgeWins:    reg.Counter("halk_replica_hedge_wins_total", "Gathers where this replica's hedge scan finished first.", ls...),
+		scanMs:       reg.Histogram("halk_replica_scan_duration_ms", "Latency of completed replica scans in milliseconds.", obs.LatencyBuckets, ls...),
+		lastMs:       reg.Gauge("halk_replica_last_scan_ms", "Latency of the most recent completed replica scan.", ls...),
+		maxMs:        reg.Gauge("halk_replica_max_scan_ms", "Worst completed replica-scan latency since process start.", ls...),
+		up:           reg.Gauge("halk_replica_up", "1 when the replica answered its last health check, else 0.", ls...),
+		versionG:     reg.Gauge("halk_replica_entity_version", "Entity-table version the replica last reported.", ls...),
 	}
-	return out
 }
 
-func (st *remoteStat) record(ms float64) {
+// record folds one completed scan into the counters and the EWMA.
+func (st *replicaStat) record(ms float64) {
 	st.scans.Inc()
 	st.scanMs.Observe(ms)
 	st.lastMs.Set(ms)
 	st.maxMs.SetMax(ms)
+	for {
+		old := st.ewmaBits.Load()
+		cur := math.Float64frombits(old)
+		next := ms
+		if old != 0 {
+			next = (1-ewmaAlpha)*cur + ewmaAlpha*ms
+		}
+		if st.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
 }
 
-// setHealth records a health-check outcome: the node's reported range
-// and version on success, down on failure.
-func (st *remoteStat) setHealth(h *Health, ok bool) {
+// ewma returns the latency EWMA in ms, or +Inf while unseeded so a
+// never-scanned replica loses a power-of-two-choices comparison against
+// any replica with an observed latency (and ties break on the sampling
+// order, i.e. randomly).
+func (st *replicaStat) ewma() float64 {
+	bits := st.ewmaBits.Load()
+	if bits == 0 {
+		return math.Inf(1)
+	}
+	return math.Float64frombits(bits)
+}
+
+// ewmaMs is the stats-surface view of the EWMA: 0 while unseeded.
+func (st *replicaStat) ewmaMs() float64 {
+	bits := st.ewmaBits.Load()
+	if bits == 0 {
+		return 0
+	}
+	return math.Float64frombits(bits)
+}
+
+// setHealth records a health-check outcome: the replica's reported
+// range and version on success, down on failure.
+func (st *replicaStat) setHealth(h *Health, ok bool) {
 	st.mu.Lock()
 	st.healthy = ok
 	if ok {
-		st.lo, st.hi, st.version = h.Lo, h.Hi, h.EntityVersion
+		st.lo, st.hi = h.Lo, h.Hi
 	}
 	st.mu.Unlock()
 	if ok {
+		st.setVersion(h.EntityVersion)
 		st.up.Set(1)
-		st.versionG.Set(float64(h.EntityVersion))
 	} else {
 		st.up.Set(0)
 	}
 }
 
+// setVersion records the replica's last-known entity version (health
+// sweeps and scan responses both feed it, so pinning stays fresh
+// between polls).
+func (st *replicaStat) setVersion(v uint64) {
+	st.version.Store(v)
+	st.versionG.Set(float64(v))
+}
+
 // health returns the last health-check view.
-func (st *remoteStat) health() (lo, hi int, version uint64, healthy bool) {
+func (st *replicaStat) health() (lo, hi int, version uint64, healthy bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.lo, st.hi, st.version, st.healthy
+	return st.lo, st.hi, st.version.Load(), st.healthy
 }

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ParseTopology resolves the -cluster/-cluster-file flags into the
+// replica topology: element i of the result is entity range i's replica
+// endpoints, in configuration order. Exactly one of list and file may be
+// non-empty; both empty returns (nil, nil) — no cluster mode.
+//
+// The -cluster flag separates ranges with commas and replicas within a
+// range with '|':
+//
+//	-cluster "a:9001|b:9001,a:9002|b:9002"
+//
+// is a 2-range topology with two replicas per range. The -cluster-file
+// format is one range per line: the line's whitespace- (or '|'-)
+// separated addresses are that range's replicas; '#' starts a comment
+// and blank lines are skipped:
+//
+//	# range 0
+//	a:9001 b:9001
+//	# range 1
+//	a:9002 b:9002
+//
+// The pre-replica one-address-per-range forms — a plain comma list and
+// a one-address-per-line file — parse unchanged as 1-replica ranges, so
+// existing deployments keep their exact topology.
+func ParseTopology(list, file string) ([][]string, error) {
+	if list != "" && file != "" {
+		return nil, fmt.Errorf("-cluster and -cluster-file are mutually exclusive")
+	}
+	var lines []string
+	switch {
+	case list != "":
+		lines = strings.Split(list, ",")
+	case file != "":
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(b), "\n") {
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			lines = append(lines, line)
+		}
+	default:
+		return nil, nil
+	}
+	var ranges [][]string
+	for _, line := range lines {
+		var replicas []string
+		for _, tok := range strings.FieldsFunc(line, func(r rune) bool {
+			return r == '|' || r == ' ' || r == '\t' || r == '\r'
+		}) {
+			if tok = strings.TrimSpace(tok); tok != "" {
+				replicas = append(replicas, tok)
+			}
+		}
+		if len(replicas) == 0 {
+			continue // blank or comment-only line
+		}
+		ranges = append(ranges, replicas)
+	}
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("cluster topology resolved to no node addresses")
+	}
+	return ranges, nil
+}

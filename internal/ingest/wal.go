@@ -323,3 +323,54 @@ func (w *WAL) Advance(seq uint64) error {
 	}
 	return nil
 }
+
+// Compact removes every on-disk segment wholly covered by the durable
+// APPLIED cursor — segments Advance's best-effort pruning left behind
+// (a crash between the manifest write and the prune, files restored
+// from backup, a cursor inherited from another process) — and returns
+// how many it disposed of. With a non-empty archiveDir the segments
+// are moved there instead of deleted, preserving an audit trail of
+// every accepted edge. Call it after OpenWAL on long-lived servers so
+// dead segments stop accumulating.
+//
+// Compact never touches replay state: only files *at or below* the
+// cursor qualify, pending segments are all above it by construction,
+// and quarantined `.bad` twins, temp files and the APPLIED manifest
+// are never candidates. When Open quarantined the manifest the cursor
+// reset to 0 and no segment is below it, so a WAL whose true replay
+// floor is unknown compacts nothing.
+func (w *WAL) Compact(archiveDir string) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return 0, fmt.Errorf("ingest: compact wal: %w", err)
+	}
+	if archiveDir != "" {
+		if err := os.MkdirAll(archiveDir, 0o755); err != nil {
+			return 0, fmt.Errorf("ingest: compact wal: %w", err)
+		}
+	}
+	n := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil || seq > w.applied {
+			continue
+		}
+		path := filepath.Join(w.dir, name)
+		if archiveDir != "" {
+			err = os.Rename(path, filepath.Join(archiveDir, name))
+		} else {
+			err = os.Remove(path)
+		}
+		if err != nil {
+			return n, fmt.Errorf("ingest: compact segment %d: %w", seq, err)
+		}
+		n++
+	}
+	return n, nil
+}

@@ -371,3 +371,177 @@ func TestWALIgnoresForeignFiles(t *testing.T) {
 		t.Fatalf("foreign files disturbed: %v", names)
 	}
 }
+
+// copySegments snapshots the named segment files so a test can restore
+// them after pruning — simulating a crash between the APPLIED manifest
+// write and the best-effort prune, or files restored from backup.
+func copySegments(t *testing.T, w *WAL, seqs ...uint64) map[uint64][]byte {
+	t.Helper()
+	out := make(map[uint64][]byte, len(seqs))
+	for _, seq := range seqs {
+		b, err := os.ReadFile(w.segPath(seq))
+		if err != nil {
+			t.Fatalf("snapshot segment %d: %v", seq, err)
+		}
+		out[seq] = b
+	}
+	return out
+}
+
+// TestWALCompactRemovesOnlyDeadSegments is the compaction adversarial
+// test: segments below the durable cursor that Advance's prune missed
+// are removed, while every segment still needed for replay — and the
+// cursor manifest, and quarantined twins — survives untouched and the
+// log replays identically afterwards.
+func TestWALCompactRemovesOnlyDeadSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := OpenWAL(dir)
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(testRecords(3, i*10), 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dead := copySegments(t, w, 1, 2, 3)
+	if err := w.Advance(3); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect the pruned segments: the crash-between-manifest-and-prune
+	// state Open tolerates but never cleans up.
+	for seq, b := range dead {
+		if err := os.WriteFile(w.segPath(seq), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A quarantined twin must never be a compaction candidate.
+	badName := filepath.Join(dir, "wal-0000000000000001.wal.bad")
+	if err := os.WriteFile(badName, dead[1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPending := w2.Pending()
+	if len(wantPending) != 2 || wantPending[0] != 4 || wantPending[1] != 5 {
+		t.Fatalf("pending before compact = %v, want [4 5]", wantPending)
+	}
+	n, err := w2.Compact("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("Compact removed %d segments, want 3", n)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := os.Stat(w2.segPath(seq)); !os.IsNotExist(err) {
+			t.Fatalf("dead segment %d survived compaction", seq)
+		}
+	}
+	for _, seq := range wantPending {
+		if _, _, err := w2.Load(seq); err != nil {
+			t.Fatalf("pending segment %d unreadable after compaction: %v", seq, err)
+		}
+	}
+	if _, err := os.Stat(badName); err != nil {
+		t.Fatalf("quarantined twin disturbed: %v", err)
+	}
+	// A second pass finds nothing, and the compacted log reopens with the
+	// exact same replay set — no gap, no lost cursor.
+	if n, err := w2.Compact(""); err != nil || n != 0 {
+		t.Fatalf("idempotent compact = (%d, %v), want (0, nil)", n, err)
+	}
+	w3, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	if got := w3.Pending(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("pending after compaction = %v, want [4 5]", got)
+	}
+	if w3.AppliedSeq() != 3 {
+		t.Fatalf("AppliedSeq after compaction = %d, want 3", w3.AppliedSeq())
+	}
+}
+
+// TestWALCompactRefusesUnknownFloor pins the safety rule: with no
+// durable cursor — fresh log, or a quarantined APPLIED manifest — the
+// replay floor is unknown, so compaction must remove nothing.
+func TestWALCompactRefusesUnknownFloor(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := OpenWAL(dir)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(testRecords(2, i*10), 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fresh log: everything is pending, nothing compacts.
+	if n, err := w.Compact(""); err != nil || n != 0 {
+		t.Fatalf("compact with cursor 0 = (%d, %v), want (0, nil)", n, err)
+	}
+
+	if err := w.Advance(2); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the manifest: reopen quarantines it and resets the cursor.
+	if err := os.WriteFile(filepath.Join(dir, "APPLIED"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.AppliedSeq() != 0 {
+		t.Fatalf("AppliedSeq with corrupt manifest = %d, want 0", w2.AppliedSeq())
+	}
+	if n, err := w2.Compact(""); err != nil || n != 0 {
+		t.Fatalf("compact with quarantined manifest = (%d, %v), want (0, nil)", n, err)
+	}
+	if _, _, err := w2.Load(3); err != nil {
+		t.Fatalf("segment 3 unreadable after no-op compaction: %v", err)
+	}
+}
+
+// TestWALCompactArchives exercises the audit-trail mode: dead segments
+// move to the archive directory intact instead of being deleted.
+func TestWALCompactArchives(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := OpenWAL(dir)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(testRecords(2, i*10), 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dead := copySegments(t, w, 1, 2)
+	if err := w.Advance(2); err != nil {
+		t.Fatal(err)
+	}
+	for seq, b := range dead {
+		if err := os.WriteFile(w.segPath(seq), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	archive := filepath.Join(t.TempDir(), "wal-archive")
+	n, err := w.Compact(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("Compact archived %d segments, want 2", n)
+	}
+	for seq, want := range dead {
+		name := filepath.Base(w.segPath(seq))
+		got, err := os.ReadFile(filepath.Join(archive, name))
+		if err != nil {
+			t.Fatalf("archived segment %d: %v", seq, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("archived segment %d differs from the original", seq)
+		}
+		if _, err := os.Stat(w.segPath(seq)); !os.IsNotExist(err) {
+			t.Fatalf("segment %d still in the live directory after archiving", seq)
+		}
+	}
+	if _, _, err := w.Load(3); err != nil {
+		t.Fatalf("pending segment 3 unreadable after archiving: %v", err)
+	}
+}

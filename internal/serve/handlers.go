@@ -503,6 +503,11 @@ type statsResponse struct {
 	// per shard.
 	NumShards int                `json:"num_shards,omitempty"`
 	Shards    []shard.ShardStats `json:"shards,omitempty"`
+	// Ranges describes the replica topology when the Ranker routes to
+	// replicated entity ranges (cluster router mode): per range, the
+	// replica set, current primary, failover/primary-flip counters and
+	// per-replica breaker states.
+	Ranges []RangeReplicaStats `json:"ranges,omitempty"`
 	// Admission describes the load-shedding gate when one is configured.
 	Admission *admissionSnapshot `json:"admission,omitempty"`
 	// Checkpoint reports the served checkpoint's freshness when the
@@ -534,6 +539,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Ranker != nil {
 		resp.NumShards = s.cfg.Ranker.NumShards()
 		resp.Shards = s.cfg.Ranker.ShardStats()
+		if rs, ok := s.cfg.Ranker.(ReplicaStatser); ok {
+			resp.Ranges = rs.ReplicaStats()
+		}
 	}
 	if s.gate != nil {
 		resp.Admission = s.gate.snapshot()

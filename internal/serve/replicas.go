@@ -1,0 +1,44 @@
+package serve
+
+import "github.com/halk-kg/halk/internal/resil"
+
+// ReplicaSnapshot is one replica's view in the /v1/stats ranges block:
+// liveness, last-known entity version, scan-outcome counters and the
+// latency EWMA the router's primary selection compares.
+type ReplicaSnapshot struct {
+	Node          string  `json:"node"`
+	Healthy       bool    `json:"healthy"`
+	EntityVersion uint64  `json:"entity_version"`
+	Primary       bool    `json:"primary"`
+	Scans         uint64  `json:"scans"`
+	Timeouts      uint64  `json:"timeouts"`
+	Errors        uint64  `json:"errors"`
+	BreakerSkips  uint64  `json:"breaker_skips"`
+	Hedges        uint64  `json:"hedges"`
+	HedgeWins     uint64  `json:"hedge_wins"`
+	EwmaMs        float64 `json:"ewma_ms"`
+	// Breaker is the replica's circuit-breaker snapshot when breakers
+	// are configured.
+	Breaker *resil.BreakerStats `json:"breaker,omitempty"`
+}
+
+// RangeReplicaStats is one entity range's replica set in /v1/stats:
+// the hosted range, the current primary, the failover and primary-flip
+// counters, and every replica's snapshot.
+type RangeReplicaStats struct {
+	Range        int               `json:"range"`
+	Lo           int               `json:"lo"`
+	Hi           int               `json:"hi"`
+	Primary      string            `json:"primary"`
+	Failovers    uint64            `json:"failovers"`
+	PrimaryFlips uint64            `json:"primary_flips"`
+	Replicas     []ReplicaSnapshot `json:"replicas"`
+}
+
+// ReplicaStatser is the optional Ranker upgrade a replicated topology
+// implements (cluster.Router does): per-range replica sets with
+// failover counters, surfaced as the "ranges" block of /v1/stats
+// alongside the flat per-range "shards" block.
+type ReplicaStatser interface {
+	ReplicaStats() []RangeReplicaStats
+}
