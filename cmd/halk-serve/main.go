@@ -32,6 +32,16 @@
 //	                  "mode": "exact"|"approx", "timeout_ms": 2000}
 //	GET  /v1/healthz liveness + model identity
 //	GET  /v1/stats   request/latency/cache/candidate-pool/checkpoint metrics
+//	POST /v1/topology/join   router mode: {"range": N, "node": "host:port"}
+//	                  adds a replica in probation (202; admitted after the
+//	                  identity probe passes)
+//	POST /v1/topology/leave  router mode: {"node": "host:port"} removes a
+//	                  replica from the failover pool
+//
+// In router mode the replica topology is live: besides the join/leave
+// endpoints, SIGHUP re-reads -cluster-file and applies the diff
+// (-cluster-watch polls its mtime for the same effect), with range
+// boundaries fixed — only replica-set membership changes.
 //
 // Example session:
 //
@@ -49,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -141,6 +152,7 @@ func main() {
 		brkOpenMax   = flag.Duration("breaker-open-max", 15*time.Second, "cap on the breaker cool-down's jittered extra")
 		clusterList  = flag.String("cluster", "", "router mode: comma-separated entity ranges, each a '|'-separated replica set of halk-shard addresses (e.g. \"a:9001|b:9001,a:9002|b:9002\"); exact queries scatter-gather across the ranges and fail over within each replica set")
 		clusterFile  = flag.String("cluster-file", "", "router mode: topology file with one entity range per line, the line's whitespace- or '|'-separated addresses being that range's replicas (# comments)")
+		clusterWatch = flag.Duration("cluster-watch", 0, "poll -cluster-file's mtime this often and reload membership changes into the running router (0 disables; SIGHUP always reloads)")
 		remoteTO     = flag.Duration("remote-timeout", 2*time.Second, "per-attempt replica scan deadline in router mode; a replica that misses it fails over to its next sibling, and a range whose whole replica set is exhausted degrades the response to a partial result (0 = request deadline only)")
 		healthEvery  = flag.Duration("health-every", 2*time.Second, "router-mode replica health-poll period (liveness, ranges, checkpoint versions)")
 		quorum       = flag.Int("quorum", 0, "router mode: entity ranges that must have a replica on a new entity version before the served version (and cache namespace) flips (0 = majority)")
@@ -307,6 +319,18 @@ func main() {
 			Quorum:      *quorum,
 			HealthEvery: *healthEvery,
 			Metrics:     reg,
+			Logf:        log.Printf,
+		}
+		// Identity-probe query: a deterministic sample from the test
+		// split, embedded on demand so probes reflect the served
+		// parameters. Joining replicas must answer it byte-identically to
+		// an active sibling before they enter the failover pool.
+		ps := query.NewSampler(ds.Test, rand.New(rand.NewSource(1)))
+		for _, kind := range []string{"2p", "1p", "2i"} {
+			if q, ok := ps.Sample(kind); ok {
+				rcfg.Probe = func() []cluster.ArcSpec { return rcfg.Embed(q) }
+				break
+			}
 		}
 		if *breaker {
 			rcfg.Breaker = brkCfg()
@@ -458,6 +482,68 @@ func main() {
 		log.Printf("cluster health: %d/%d replicas up across %d ranges, serving entity version %d",
 			up, total, len(topology), router.SnapshotVersion())
 		router.Start(ctx)
+	}
+
+	// Live membership from the topology file: SIGHUP reloads it
+	// immediately, and -cluster-watch polls its mtime. A reload diffs the
+	// file against the running topology — new replicas join in probation,
+	// removed ones leave, the range count must not change — and a
+	// malformed file is rejected whole, keeping the current topology.
+	if router != nil && *clusterFile != "" {
+		reloadTopology := func(src string) {
+			top, err := cluster.ParseTopology("", *clusterFile)
+			if err != nil {
+				log.Printf("cluster-reload (%s): %v — keeping current topology", src, err)
+				return
+			}
+			if err := router.SetTopology(top); err != nil {
+				log.Printf("cluster-reload (%s): %v — keeping current topology", src, err)
+				return
+			}
+			log.Printf("cluster-reload (%s): topology v%d applied from %s", src, router.TopologyVersion(), *clusterFile)
+		}
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			defer signal.Stop(hup)
+			mtime := time.Time{}
+			if fi, err := os.Stat(*clusterFile); err == nil {
+				mtime = fi.ModTime()
+			}
+			var tickC <-chan time.Time
+			if *clusterWatch > 0 {
+				tick := time.NewTicker(*clusterWatch)
+				defer tick.Stop()
+				tickC = tick.C
+			}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					if fi, err := os.Stat(*clusterFile); err == nil {
+						mtime = fi.ModTime()
+					}
+					reloadTopology("SIGHUP")
+				case <-tickC:
+					fi, err := os.Stat(*clusterFile)
+					if err != nil {
+						log.Printf("cluster-watch: %v", err)
+						continue
+					}
+					if fi.ModTime().Equal(mtime) {
+						continue
+					}
+					mtime = fi.ModTime()
+					reloadTopology("mtime change")
+				}
+			}
+		}()
+		if *clusterWatch > 0 {
+			log.Printf("cluster watcher polling %s every %v (SIGHUP reloads immediately)", *clusterFile, *clusterWatch)
+		} else {
+			log.Printf("SIGHUP reloads cluster topology from %s", *clusterFile)
+		}
 	}
 
 	if *ckptWatch > 0 {

@@ -20,9 +20,15 @@
 //
 //	POST /v1/scan    {"arcs": [...], "k": 10, "bound": 0.42} — local top-K
 //	POST /v1/query   debugging: answer a query over the hosted range only
+//	POST /v1/drain   begin coordinated drain: healthz flips to 503
 //	GET  /v1/healthz readiness: hosted range, entity version, checkpoint
 //	GET  /v1/stats   per-local-shard scan counters
 //	GET  /metrics    Prometheus text format
+//
+// SIGTERM (or POST /v1/drain) triggers a coordinated drain: readiness
+// fails first (healthz answers 503 "draining" while /v1/scan keeps
+// serving), routers get -drain-grace to divert new work, then the
+// listener stops and in-flight scans get the -drain budget to finish.
 //
 // With -ckpt-watch the checkpoint path is polled and newer checkpoints
 // hot-reloaded exactly as in halk-serve; the node's entity version
@@ -121,6 +127,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 10*time.Second, "default scan deadline when a request carries no timeout_ms")
 		maxK        = flag.Int("maxk", 1000, "cap on per-request k")
 		drain       = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+		drainGrace  = flag.Duration("drain-grace", 2*time.Second, "pause between failing readiness (healthz 503 draining) and refusing connections, so routers stop sending new work first")
 		pprofAt     = flag.String("pprof-addr", "", "separate debug listen address exposing /debug/pprof/ and /metrics (empty disables)")
 		ckptRetries = flag.Int("ckpt-retries", 3, "checkpoint-load attempts before giving up")
 		ckptWatch   = flag.Duration("ckpt-watch", 0, "poll the -ckpt path this often and hot-reload newer checkpoints (0 disables)")
@@ -279,9 +286,25 @@ func main() {
 	case err := <-errc:
 		log.Fatal(err)
 	case <-ctx.Done():
+		log.Print("signal received; failing readiness")
+	case <-node.DrainC():
+		log.Print("drain requested over POST /v1/drain; failing readiness")
 	}
 
-	log.Printf("signal received; draining for up to %v", *drain)
+	// Coordinated drain: fail readiness FIRST — /v1/healthz answers 503
+	// "draining" while /v1/scan keeps serving — and give routers a grace
+	// period to observe it and stop routing new work here. Only then stop
+	// accepting connections and wait out the in-flight scans.
+	node.Drain()
+	if *drainGrace > 0 {
+		log.Printf("draining: readiness failed, waiting %v for routers to divert", *drainGrace)
+		select {
+		case <-time.After(*drainGrace):
+		case err := <-errc:
+			log.Fatal(err)
+		}
+	}
+	log.Printf("draining in-flight requests for up to %v", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -107,7 +107,7 @@ func addrsOf(nodes []*testNode) []string {
 
 // rep0 returns range ri's sole replica — legacy tests drive 1-replica
 // topologies where startTopology maps one node per range.
-func rep0(rt *Router, ri int) *replica { return rt.ranges[ri].replicas[0] }
+func rep0(rt *Router, ri int) *replica { return rt.ranges[ri].list()[0] }
 
 func newTestRouter(t *testing.T, m *halk.Model, nodes []*testNode, mutate func(*Config)) *Router {
 	t.Helper()

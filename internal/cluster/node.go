@@ -8,6 +8,8 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/halk-kg/halk/internal/ckpt"
@@ -76,6 +78,21 @@ type Node struct {
 	reg    *obs.Registry
 	panics *obs.Counter
 	scans  *obs.Counter
+
+	// inflight counts /v1/scan requests currently being served; its
+	// value rides every scan response and health report as queue_depth,
+	// feeding the router's queue-weighted balancing.
+	inflight atomic.Int64
+
+	// draining flips once, on POST /v1/drain or the process's SIGTERM
+	// path: /v1/healthz turns 503 ("draining") so routers and load
+	// balancers stop sending new work, while /v1/scan keeps answering —
+	// in-flight and straggler scans complete instead of degrading some
+	// gather to a partial answer. drainC is closed at the same moment so
+	// the serving process can sequence its shutdown off it.
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainC    chan struct{}
 }
 
 // NewNode validates cfg and builds the frontend.
@@ -107,12 +124,23 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		reg:    cfg.Metrics,
 		panics: cfg.Metrics.Counter("halk_node_panics_total", "Handler panics recovered by the node frontend."),
 		scans:  cfg.Metrics.Counter("halk_node_scans_total", "Remote scan requests served."),
+		drainC: make(chan struct{}),
 	}
+	cfg.Metrics.GaugeFunc("halk_node_draining", "1 once the node has begun a coordinated drain, else 0.",
+		func() float64 {
+			if n.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	cfg.Metrics.GaugeFunc("halk_node_inflight_scans", "Scan requests currently being served.",
+		func() float64 { return float64(n.inflight.Load()) })
 	wrap := func(name string, h http.HandlerFunc) http.HandlerFunc {
 		return serve.Recover(name, n.panics, cfg.PanicLog, h)
 	}
 	n.mux.HandleFunc("/v1/scan", wrap("/v1/scan", n.handleScan))
 	n.mux.HandleFunc("/v1/healthz", wrap("/v1/healthz", n.handleHealthz))
+	n.mux.HandleFunc("/v1/drain", wrap("/v1/drain", n.handleDrain))
 	n.mux.HandleFunc("/v1/stats", wrap("/v1/stats", n.handleStats))
 	n.mux.Handle("/metrics", n.reg.Handler())
 	if cfg.Entities != nil {
@@ -126,6 +154,35 @@ func (n *Node) Handler() http.Handler { return n.mux }
 
 // Close drains the engine's in-flight scans.
 func (n *Node) Close() { n.cfg.Engine.Close() }
+
+// Drain begins a coordinated shutdown: readiness fails from the next
+// /v1/healthz poll on (503, status "draining") while /v1/scan keeps
+// serving, and DrainC is closed so the hosting process can sequence
+// grace period → listener shutdown → engine close. Idempotent; there is
+// no way back — a drained node is expected to exit and, if it returns,
+// rejoin through the router's probation probe.
+func (n *Node) Drain() {
+	n.draining.Store(true)
+	n.drainOnce.Do(func() { close(n.drainC) })
+}
+
+// Draining reports whether Drain has been called.
+func (n *Node) Draining() bool { return n.draining.Load() }
+
+// DrainC is closed on the first Drain call (HTTP /v1/drain or the
+// process signal path) — the hosting process selects on it next to its
+// signal context.
+func (n *Node) DrainC() <-chan struct{} { return n.drainC }
+
+// handleDrain is POST /v1/drain: flip the node into coordinated drain.
+func (n *Node) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	n.Drain()
+	serve.WriteJSON(w, http.StatusOK, map[string]string{"status": HealthDraining})
+}
 
 type errorResponse struct {
 	Error string `json:"error"`
@@ -158,6 +215,8 @@ func (n *Node) handleScan(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
 	var req ScanRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		fail(w, http.StatusBadRequest, "invalid JSON body: %v", err)
@@ -205,6 +264,12 @@ func (n *Node) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	n.scans.Inc()
 	lo, hi := n.cfg.Engine.EntityRange()
+	// Queue excludes this scan: what a router sending the *next* request
+	// would wait behind.
+	queue := int(n.inflight.Load()) - 1
+	if queue < 0 {
+		queue = 0
+	}
 	serve.WriteJSON(w, http.StatusOK, &ScanResponse{
 		IDs:     res.IDs,
 		Dists:   res.Dists,
@@ -212,11 +277,15 @@ func (n *Node) handleScan(w http.ResponseWriter, r *http.Request) {
 		Version: res.Version,
 		Lo:      lo,
 		Hi:      hi,
+		Queue:   queue,
 	})
 }
 
 // handleHealthz is GET /v1/healthz: the node's readiness report in the
-// same shape halk-serve answers, plus the hosted range.
+// same shape halk-serve answers, plus the hosted range. A draining node
+// answers 503 with the same body and Status "draining": readiness
+// fails (load balancers take it out of rotation) while the router can
+// still read the full report and sequence its own drain handling.
 func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	lo, hi := n.cfg.Engine.EntityRange()
 	h := Health{
@@ -227,6 +296,7 @@ func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Shards:        n.cfg.Engine.NumShards(),
 		Lo:            lo,
 		Hi:            hi,
+		Queue:         int(n.inflight.Load()),
 	}
 	if n.cfg.Ckpt != nil {
 		snap := n.cfg.Ckpt.Snapshot()
@@ -236,7 +306,12 @@ func (n *Node) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	} else {
 		h.CkptLoaded = h.EntityVersion > 0
 	}
-	serve.WriteJSON(w, http.StatusOK, h)
+	code := http.StatusOK
+	if n.draining.Load() {
+		h.Status = HealthDraining
+		code = http.StatusServiceUnavailable
+	}
+	serve.WriteJSON(w, code, h)
 }
 
 // handleStats is GET /v1/stats: the hosted range plus the engine's
@@ -251,6 +326,8 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 		"num_shards": n.cfg.Engine.NumShards(),
 		"shards":     n.cfg.Engine.Stats(),
 		"scans":      n.scans.Value(),
+		"queue":      n.inflight.Load(),
+		"draining":   n.draining.Load(),
 	}
 	if n.cfg.Ckpt != nil {
 		resp["checkpoint"] = n.cfg.Ckpt.Snapshot()

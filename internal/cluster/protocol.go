@@ -70,12 +70,24 @@ type ScanResponse struct {
 	Version uint64 `json:"version"`
 	Lo      int    `json:"lo"`
 	Hi      int    `json:"hi"`
+	// Queue is the node's concurrent-scan depth at answer time,
+	// excluding this scan — the router folds it into queue-depth-weighted
+	// primary selection, so a backed-up replica sheds new primaries
+	// without waiting for its latency EWMA to notice.
+	Queue int `json:"queue_depth,omitempty"`
 }
 
 // Health is the /v1/healthz readiness report of a shard node. The field
 // names match halk-serve's report, so one prober reads both; Lo/Hi are
 // node-only. The router polls it for node discovery, liveness, and
 // checkpoint-rollout version skew.
+//
+// Status is "ok" while serving and "draining" once the node has begun a
+// coordinated shutdown (POST /v1/drain or SIGTERM): a draining node
+// answers /v1/healthz with HTTP 503 — so load balancers fail it out of
+// rotation — but keeps this full report in the body and keeps serving
+// /v1/scan, so the router can finish in-flight work and route new
+// gathers elsewhere before the process exits.
 type Health struct {
 	Status        string `json:"status"`
 	Model         string `json:"model,omitempty"`
@@ -87,7 +99,13 @@ type Health struct {
 	CkptLoaded    bool   `json:"ckpt_loaded"`
 	CkptStep      int    `json:"ckpt_step,omitempty"`
 	CkptPath      string `json:"ckpt_path,omitempty"`
+	// Queue is the node's concurrent-scan depth at report time; the
+	// router's queue-depth-weighted balancing reads it between scans.
+	Queue int `json:"queue_depth,omitempty"`
 }
+
+// HealthDraining is the Health.Status of a node in coordinated drain.
+const HealthDraining = "draining"
 
 // QueryRequest is the POST /v1/query body understood by both halk-serve
 // and a shard node's debugging endpoint (the node answers over its

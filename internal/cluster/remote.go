@@ -123,11 +123,35 @@ func (r *RemoteShard) Scan(ctx context.Context, req *ScanRequest) (*ScanResponse
 	return &resp, nil
 }
 
-// Health fetches the node's readiness report.
+// Health fetches the node's readiness report. A draining node answers
+// 503 with the full report in the body (Status "draining"); that is a
+// real, decodable health state — the router must see it to take the
+// node out of primary rotation — so it is returned as (h, nil) rather
+// than a StatusError. Any other non-2xx, or a 503 without a decodable
+// status, is an error.
 func (r *RemoteShard) Health(ctx context.Context) (*Health, error) {
-	var h Health
-	if err := DoJSON(ctx, r.hc, http.MethodGet, r.base+"/v1/healthz", nil, &h); err != nil {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/healthz", nil)
+	if err != nil {
 		return nil, err
 	}
-	return &h, nil
+	res, err := r.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode/100 == 2 || res.StatusCode == http.StatusServiceUnavailable {
+		var h Health
+		if derr := json.NewDecoder(io.LimitReader(res.Body, 1<<20)).Decode(&h); derr == nil && h.Status != "" {
+			return &h, nil
+		} else if res.StatusCode/100 == 2 {
+			return nil, fmt.Errorf("cluster: decode health response: %w", derr)
+		}
+	}
+	return nil, &StatusError{Code: res.StatusCode}
+}
+
+// Drain asks the node to begin a coordinated shutdown: fail readiness,
+// finish in-flight scans, exit after its drain grace. Idempotent.
+func (r *RemoteShard) Drain(ctx context.Context) error {
+	return DoJSON(ctx, r.hc, http.MethodPost, r.base+"/v1/drain", nil, nil)
 }

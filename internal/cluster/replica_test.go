@@ -74,7 +74,7 @@ func newReplicaRouter(t *testing.T, m *halk.Model, nodes [][]*testNode, mutate f
 // its siblings slow) — the handle chaos tests use to aim a fault at
 // the replica the router will actually try first.
 func preferReplica(rt *Router, ri, pi int) {
-	for j, rep := range rt.ranges[ri].replicas {
+	for j, rep := range rt.ranges[ri].list() {
 		if j == pi {
 			rep.st.record(0.01)
 		} else {
@@ -170,7 +170,7 @@ func TestReplicaAllReplicasDownPartial(t *testing.T) {
 	rt := newReplicaRouter(t, m, nodes, func(c *Config) {
 		c.ScanTimeout = 2 * time.Second
 	})
-	deadLo, deadHi, _, _ := rt.ranges[1].replicas[0].st.health()
+	deadLo, deadHi, _, _ := rt.ranges[1].list()[0].st.health()
 	if deadHi <= deadLo {
 		t.Fatal("health sweep did not record range 1")
 	}
@@ -238,7 +238,7 @@ func TestReplicaBreakerSiblingServes(t *testing.T) {
 			t.Fatalf("gather %d: partial despite a live sibling", i)
 		}
 	}
-	dead, sibling := rt.ranges[0].replicas[0], rt.ranges[0].replicas[1]
+	dead, sibling := rt.ranges[0].list()[0], rt.ranges[0].list()[1]
 	if dead.breaker.State() == resil.Closed {
 		t.Fatal("dead replica's breaker still closed after repeated failures")
 	}
@@ -286,7 +286,7 @@ func TestReplicaHedgeGoesToSibling(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Fatalf("gather took %v; the sibling hedge should have answered well before the wedged primary", elapsed)
 	}
-	primary, sibling := rt.ranges[0].replicas[0], rt.ranges[0].replicas[1]
+	primary, sibling := rt.ranges[0].list()[0], rt.ranges[0].list()[1]
 	if sibling.st.hedges.Value() == 0 || sibling.st.hedgeWins.Value() == 0 {
 		t.Fatalf("sibling hedges = %d, wins = %d; want both > 0",
 			sibling.st.hedges.Value(), sibling.st.hedgeWins.Value())
@@ -378,8 +378,8 @@ func TestReplicaMixedVersionRollout(t *testing.T) {
 		t.Fatalf("post-flip result version = %d, want %d", res.Version, v1)
 	}
 	for ri := 0; ri < nRanges; ri++ {
-		if p := rt.ranges[ri].primary.Load(); p != 1 {
-			t.Fatalf("range %d primary = replica %d; gathers must pin to the v%d replica", ri, p, v1)
+		if p := rt.ranges[ri].primary.Load(); p != rt.ranges[ri].list()[1] {
+			t.Fatalf("range %d primary = %v; gathers must pin to the v%d replica", ri, p, v1)
 		}
 	}
 

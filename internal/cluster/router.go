@@ -71,27 +71,52 @@ type Config struct {
 	// Seed drives the power-of-two-choices sampling; 0 means
 	// time-seeded. Fix it in tests that need a reproducible pick order.
 	Seed int64
+	// Probe, when set, embeds the known probe query the identity probe
+	// scans against a joining/blamed replica and a current active
+	// replica (halk-serve wires a deterministically sampled query).
+	// When unset the probe falls back to the last gather's arcs; with
+	// neither available, probes admit on health alone.
+	Probe func() []ArcSpec
+	// ProbeK is the probe scan's K; 0 means 8.
+	ProbeK int
+	// ProbeBase/ProbeMax bound the prober's full-jitter backoff between
+	// probe attempts; 0 means 250ms / 5s.
+	ProbeBase time.Duration
+	ProbeMax  time.Duration
+	// Logf receives membership events (joins, leaves, probe failures,
+	// re-admissions); nil is silent. halk-serve wires log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // replica is one endpoint of a range's replica set: the remote client,
-// its circuit breaker (nil when breakers are off) and its counters.
+// its circuit breaker (nil when breakers are off), its counters and
+// its membership state.
 type replica struct {
 	addr    string
-	idx     int // index within the range's replica set
 	remote  *RemoteShard
 	breaker *resil.Breaker
 	st      *replicaStat
+
+	// state is the replica's ReplicaState (see membership.go): plan
+	// reads it per gather, the health sweep and the prober transition
+	// it.
+	state atomic.Int32
+	// probing is true while the replica's background prober goroutine
+	// runs; ensureProber CASes it so at most one runs per replica.
+	probing atomic.Bool
 }
 
 // rangeSet is one entity range's replica set plus the range-level
-// routing state: the sticky primary index and the failover/flip
-// counters.
+// routing state: the sticky primary pick and the failover/flip
+// counters. The replica slice itself is a copy-on-write snapshot
+// (membership.go) so gathers iterate it lock-free while joins and
+// leaves swap it.
 type rangeSet struct {
-	index    int
-	replicas []*replica
-	// primary is the replica index the last gather picked (-1 before
-	// the first pick); flips counts changes after the first.
-	primary   atomic.Int32
+	index int
+	reps  atomic.Pointer[[]*replica]
+	// primary is the replica the last gather picked (nil before the
+	// first pick); flips counts changes after the first.
+	primary   atomic.Pointer[replica]
 	failovers *obs.Counter
 	flips     *obs.Counter
 }
@@ -99,7 +124,7 @@ type rangeSet struct {
 // lohi returns the range's hosted slice as of the last health check
 // that reached any replica.
 func (rs *rangeSet) lohi() (lo, hi int) {
-	for _, rep := range rs.replicas {
+	for _, rep := range rs.list() {
 		l, h, _, healthy := rep.st.health()
 		if healthy || h > l {
 			return l, h
@@ -133,6 +158,21 @@ type Router struct {
 	// rng drives power-of-two-choices primary sampling.
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// topoMu serialises membership changes (Join/Leave/SetTopology);
+	// topoVersion bumps on each. Gathers never take topoMu — they read
+	// copy-on-write replica snapshots.
+	topoMu      sync.Mutex
+	topoVersion atomic.Uint64
+
+	// probeCtx bounds every background prober; Close cancels it before
+	// awaiting scanWG so probers mid-backoff exit immediately.
+	probeCtx    context.Context
+	probeCancel context.CancelFunc
+
+	// lastSpecs is the most recent gather's embedded arcs — the
+	// identity probe's fallback probe query when Config.Probe is unset.
+	lastSpecs atomic.Pointer[[]ArcSpec]
 
 	// version is the quorum-agreed entity version — what SnapshotVersion
 	// reports, what gathers pin replica selection to, and what the serve
@@ -195,6 +235,8 @@ func NewRouter(cfg Config) (*Router, error) {
 		hc:  hc,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
+	rt.probeCtx, rt.probeCancel = context.WithCancel(context.Background())
+	rt.topoVersion.Store(1)
 	rt.ranges = make([]*rangeSet, len(ranges))
 	for i, reps := range ranges {
 		rl := obs.L("range", strconv.Itoa(i))
@@ -203,35 +245,47 @@ func NewRouter(cfg Config) (*Router, error) {
 			failovers: cfg.Metrics.Counter("halk_replica_failovers_total", "Scan attempts re-issued to a sibling replica after a failure.", rl),
 			flips:     cfg.Metrics.Counter("halk_replica_primary_flips_total", "Times the range's preferred primary replica changed.", rl),
 		}
-		rs.primary.Store(-1)
-		for j, addr := range reps {
-			rep := &replica{
-				addr:   addr,
-				idx:    j,
-				remote: NewRemoteShard(addr, hc),
-				st:     newReplicaStat(cfg.Metrics, i, addr),
-			}
-			if cfg.Breaker != nil {
-				b := resil.NewBreaker(*cfg.Breaker)
-				rep.breaker = b
-				cfg.Metrics.GaugeFunc("halk_replica_breaker_state",
-					"Circuit breaker state per replica (0=closed, 1=open, 2=half-open).",
-					func() float64 { return float64(b.State()) },
-					obs.L("node", addr), rl)
-			}
-			rs.replicas = append(rs.replicas, rep)
+		set := make([]*replica, 0, len(reps))
+		for _, addr := range reps {
+			// Boot-time replicas start Active: the operator vouched for
+			// the static topology, and a restarted router must serve
+			// immediately. Replicas added later enter through probation.
+			set = append(set, rt.newReplica(i, addr, StateActive))
 		}
+		rs.reps.Store(&set)
 		rt.ranges[i] = rs
 	}
 	return rt, nil
 }
 
-// Topology reports the configured replica topology: element i is range
-// i's replica addresses.
+// newReplica builds one replica handle with its stats and breaker;
+// metric families dedupe by label, so an address that leaves and later
+// rejoins continues its counter series.
+func (rt *Router) newReplica(ri int, addr string, state ReplicaState) *replica {
+	rl := obs.L("range", strconv.Itoa(ri))
+	rep := &replica{
+		addr:   addr,
+		remote: NewRemoteShard(addr, rt.hc),
+		st:     newReplicaStat(rt.reg, ri, addr),
+	}
+	rep.setState(state)
+	if rt.cfg.Breaker != nil {
+		b := resil.NewBreaker(*rt.cfg.Breaker)
+		rep.breaker = b
+		rt.reg.GaugeFunc("halk_replica_breaker_state",
+			"Circuit breaker state per replica (0=closed, 1=open, 2=half-open).",
+			func() float64 { return float64(b.State()) },
+			obs.L("node", addr), rl)
+	}
+	return rep
+}
+
+// Topology reports the current replica topology: element i is range
+// i's replica addresses (including probation/draining members).
 func (rt *Router) Topology() [][]string {
 	out := make([][]string, len(rt.ranges))
 	for i, rs := range rt.ranges {
-		for _, rep := range rs.replicas {
+		for _, rep := range rs.list() {
 			out[i] = append(out[i], rep.addr)
 		}
 	}
@@ -291,18 +345,43 @@ func (rt *Router) CheckHealth(ctx context.Context) int {
 	var wg sync.WaitGroup
 	var up atomic.Int64
 	for _, rs := range rt.ranges {
-		for _, rep := range rs.replicas {
+		for _, rep := range rs.list() {
 			wg.Add(1)
-			go func(rep *replica) {
+			go func(rs *rangeSet, rep *replica) {
 				defer wg.Done()
 				h, err := rep.remote.Health(ctx)
-				if err != nil {
+				switch {
+				case err != nil:
 					rep.st.setHealth(nil, false)
-					return
+					// A draining replica that stops answering has exited:
+					// park it Down so a restarted process on the same
+					// address re-enters through probation, not straight
+					// into the pool with whatever state it booted with.
+					rep.casState(StateDraining, StateDown)
+				case h.Status == HealthDraining:
+					// Still answering (correctly — that is the point of
+					// coordinated drain) but leaving: record its health so
+					// last-resort failover stays possible, stop preferring
+					// it, stop probing it.
+					rep.st.setHealth(h, true)
+					rep.casState(StateActive, StateDraining)
+					rep.casState(StateProbation, StateDraining)
+					up.Add(1)
+				default:
+					rep.st.setHealth(h, true)
+					up.Add(1)
+					// A drained/dead replica answering "ok" again is a
+					// restarted process: it must re-earn the pool through
+					// the identity probe. Probation replicas get their
+					// prober (re-)armed here too, so a prober that exited
+					// (router of a crashed probe loop) self-heals.
+					rep.casState(StateDraining, StateProbation)
+					rep.casState(StateDown, StateProbation)
+					if rep.getState() == StateProbation {
+						rt.ensureProber(rs, rep)
+					}
 				}
-				rep.st.setHealth(h, true)
-				up.Add(1)
-			}(rep)
+			}(rs, rep)
 		}
 	}
 	wg.Wait()
@@ -311,11 +390,18 @@ func (rt *Router) CheckHealth(ctx context.Context) int {
 	// live replica on. rangeMax[i] is range i's best live version;
 	// readiness on v is monotone in v, so scanning candidate versions
 	// descending finds the flip target.
+	// Only serveable replicas vouch for a version: probation members
+	// are unverified (that is what probation means) and down members
+	// are gone; counting either could flip the cache namespace to a
+	// version no gather can actually be served from.
 	rangeMax := make([]uint64, 0, len(rt.ranges))
 	var candidates []uint64
 	for _, rs := range rt.ranges {
 		var best uint64
-		for _, rep := range rs.replicas {
+		for _, rep := range rs.list() {
+			if s := rep.getState(); s != StateActive && s != StateDraining {
+				continue
+			}
 			_, _, v, healthy := rep.st.health()
 			if healthy {
 				if v > best {
@@ -360,8 +446,8 @@ func (rt *Router) SnapshotVersion() uint64 { return rt.version.Load() }
 // NumShards reports the topology width — one "shard" per entity range.
 func (rt *Router) NumShards() int { return len(rt.ranges) }
 
-// NumReplicas reports range ri's replica-set size.
-func (rt *Router) NumReplicas(ri int) int { return len(rt.ranges[ri].replicas) }
+// NumReplicas reports range ri's current replica-set size.
+func (rt *Router) NumReplicas(ri int) int { return len(rt.ranges[ri].list()) }
 
 // Metrics returns the registry the router's counters live on.
 func (rt *Router) Metrics() *obs.Registry { return rt.reg }
@@ -373,10 +459,11 @@ func (rt *Router) Metrics() *obs.Registry { return rt.reg }
 func (rt *Router) ShardStats() []shard.ShardStats {
 	out := make([]shard.ShardStats, len(rt.ranges))
 	for i, rs := range rt.ranges {
+		reps := rs.list()
 		lo, hi := rs.lohi()
 		s := shard.ShardStats{Shard: i, Lo: lo, Hi: hi}
 		var meanSum float64
-		for _, rep := range rs.replicas {
+		for _, rep := range reps {
 			s.Scans += rep.st.scans.Value()
 			s.Skips += rep.st.timeouts.Value()
 			s.Errors += rep.st.errors.Value()
@@ -391,12 +478,14 @@ func (rt *Router) ShardStats() []shard.ShardStats {
 			}
 			meanSum += rep.st.scanMs.Mean()
 		}
-		s.MeanScanMs = meanSum / float64(len(rs.replicas))
-		if p := rs.primary.Load(); p >= 0 && rs.replicas[p].breaker != nil {
-			bs := rs.replicas[p].breaker.Stats()
+		if len(reps) > 0 {
+			s.MeanScanMs = meanSum / float64(len(reps))
+		}
+		if p := rs.primary.Load(); p != nil && p.breaker != nil {
+			bs := p.breaker.Stats()
 			s.Breaker = &bs
-		} else if rs.replicas[0].breaker != nil {
-			bs := rs.replicas[0].breaker.Stats()
+		} else if len(reps) > 0 && reps[0].breaker != nil {
+			bs := reps[0].breaker.Stats()
 			s.Breaker = &bs
 		}
 		out[i] = s
@@ -410,6 +499,7 @@ func (rt *Router) ShardStats() []shard.ShardStats {
 func (rt *Router) ReplicaStats() []serve.RangeReplicaStats {
 	out := make([]serve.RangeReplicaStats, len(rt.ranges))
 	for i, rs := range rt.ranges {
+		reps := rs.list()
 		lo, hi := rs.lohi()
 		rr := serve.RangeReplicaStats{
 			Range:        i,
@@ -419,17 +509,20 @@ func (rt *Router) ReplicaStats() []serve.RangeReplicaStats {
 			PrimaryFlips: rs.flips.Value(),
 		}
 		p := rs.primary.Load()
-		if p < 0 {
-			p = 0
+		if p == nil && len(reps) > 0 {
+			p = reps[0]
 		}
-		rr.Primary = rs.replicas[p].addr
-		for j, rep := range rs.replicas {
+		if p != nil {
+			rr.Primary = p.addr
+		}
+		for _, rep := range reps {
 			_, _, version, healthy := rep.st.health()
 			snap := serve.ReplicaSnapshot{
 				Node:          rep.addr,
 				Healthy:       healthy,
+				State:         rep.getState().String(),
 				EntityVersion: version,
-				Primary:       int32(j) == p,
+				Primary:       rep == p,
 				Scans:         rep.st.scans.Value(),
 				Timeouts:      rep.st.timeouts.Value(),
 				Errors:        rep.st.errors.Value(),
@@ -437,6 +530,9 @@ func (rt *Router) ReplicaStats() []serve.RangeReplicaStats {
 				Hedges:        rep.st.hedges.Value(),
 				HedgeWins:     rep.st.hedgeWins.Value(),
 				EwmaMs:        rep.st.ewmaMs(),
+				QueueDepth:    rep.st.depth.Load(),
+				Probes:        rep.st.probes.Value(),
+				Admissions:    rep.st.admissions.Value(),
 			}
 			if rep.breaker != nil {
 				bs := rep.breaker.Stats()
@@ -450,13 +546,14 @@ func (rt *Router) ReplicaStats() []serve.RangeReplicaStats {
 }
 
 // Close waits for every in-flight remote scan — gathers, attempts,
-// hedges — to drain, then drops the client's idle connections.
-// Rankings issued after Close begins are refused with shard.ErrClosed.
-// Idempotent.
+// hedges, membership probers — to drain, then drops the client's idle
+// connections. Rankings issued after Close begins are refused with
+// shard.ErrClosed. Idempotent.
 func (rt *Router) Close() {
 	rt.closeMu.Lock()
 	rt.closed = true
 	rt.closeMu.Unlock()
+	rt.probeCancel()
 	rt.scanWG.Wait()
 	rt.hc.CloseIdleConnections()
 }
@@ -517,6 +614,9 @@ func (rt *Router) RankTopK(ctx context.Context, n *query.Node, k int) (*shard.Re
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("cluster: query embedded to no arcs")
 	}
+	// Remember the arcs: the identity probe falls back to replaying the
+	// last real query when no probe query is configured.
+	rt.lastSpecs.Store(&specs)
 
 	var gb gatherBound
 	gb.init()
@@ -552,30 +652,71 @@ func (rt *Router) RankTopK(ctx context.Context, n *query.Node, k int) (*shard.Re
 	return res, err
 }
 
-// plan orders range rs's replicas for one gather: the primary first —
-// power-of-two-choices on EWMA scan latency among replicas whose
-// last-known entity version matches the served one (all replicas when
-// none match, so a fully-lagging range still answers and the merge's
-// skew guard flags it) — then the remaining replicas, version matches
-// before stragglers, each tier ascending by EWMA. Failover and hedging
-// walk this order.
+// plan orders range rs's replicas for one gather. Replicas fall into
+// tiers by membership state and version pinning:
+//
+//	tier 0  active, last-known entity version matches the served one
+//	tier 1  active, version lagging/leading (the merge's skew guard
+//	        flags a mixed answer, and it is never cached)
+//	tier 2  draining — still correct, used only when every active
+//	        replica is exhausted (the coordinated-drain contract:
+//	        prefer not to, rather than degrade the answer to partial)
+//	tier 3  down — a drained process that exited; attempted dead last
+//	        in case the health view is stale
+//	(excluded)  probation — never serves a gather until its identity
+//	            probe passes
+//
+// The primary is power-of-two-choices over the best populated tier,
+// comparing queue-depth-weighted latency (replicaStat.score: EWMA ×
+// (1 + reported queue depth)); the rest follow ascending by
+// (tier, score). Failover and hedging walk this order. nil when every
+// replica is in probation — the range is skipped outright.
 func (rt *Router) plan(rs *rangeSet) []*replica {
-	reps := rs.replicas
-	if len(reps) == 1 {
-		return reps
-	}
+	reps := rs.list()
 	pinned := rt.version.Load()
 	match := func(rep *replica) bool {
 		return pinned == 0 || rep.st.version.Load() == pinned
 	}
-	pool := make([]*replica, 0, len(reps))
-	for _, rep := range reps {
-		if match(rep) {
-			pool = append(pool, rep)
+	tierOf := func(rep *replica) int {
+		switch rep.getState() {
+		case StateActive:
+			if match(rep) {
+				return 0
+			}
+			return 1
+		case StateDraining:
+			return 2
+		case StateDown:
+			return 3
+		default: // StateProbation
+			return -1
 		}
 	}
-	if len(pool) == 0 {
-		pool = reps
+	serveable := make([]*replica, 0, len(reps))
+	tiers := make(map[*replica]int, len(reps))
+	best := 4
+	for _, rep := range reps {
+		t := tierOf(rep)
+		if t < 0 {
+			continue
+		}
+		serveable = append(serveable, rep)
+		tiers[rep] = t
+		if t < best {
+			best = t
+		}
+	}
+	if len(serveable) == 0 {
+		return nil
+	}
+	if len(serveable) == 1 {
+		return serveable
+	}
+	pool := make([]*replica, 0, len(serveable))
+	for _, rep := range serveable {
+		if tiers[rep] == best {
+			pool = append(pool, rep)
+		}
 	}
 	primary := pool[0]
 	if len(pool) > 1 {
@@ -587,31 +728,30 @@ func (rt *Router) plan(rs *rangeSet) []*replica {
 			j++
 		}
 		primary = pool[i]
-		if pool[j].st.ewma() < primary.st.ewma() {
+		if pool[j].st.score() < primary.st.score() {
 			primary = pool[j]
 		}
 	}
-	if old := rs.primary.Swap(int32(primary.idx)); old >= 0 && old != int32(primary.idx) {
+	if old := rs.primary.Swap(primary); old != nil && old != primary {
 		rs.flips.Inc()
 	}
-	order := make([]*replica, 0, len(reps))
+	order := make([]*replica, 0, len(serveable))
 	order = append(order, primary)
-	rest := make([]*replica, 0, len(reps)-1)
-	for _, rep := range reps {
+	rest := make([]*replica, 0, len(serveable)-1)
+	for _, rep := range serveable {
 		if rep != primary {
 			rest = append(rest, rep)
 		}
 	}
 	sort.SliceStable(rest, func(a, b int) bool {
-		ma, mb := match(rest[a]), match(rest[b])
-		if ma != mb {
-			return ma
+		if ta, tb := tiers[rest[a]], tiers[rest[b]]; ta != tb {
+			return ta < tb
 		}
-		ea, eb := rest[a].st.ewma(), rest[b].st.ewma()
+		ea, eb := rest[a].st.score(), rest[b].st.score()
 		if ea != eb {
 			return ea < eb
 		}
-		return rest[a].idx < rest[b].idx
+		return rest[a].addr < rest[b].addr
 	})
 	return append(order, rest...)
 }
@@ -635,6 +775,12 @@ type attemptResult struct {
 // (cancelled), not awaited.
 func (rt *Router) runRange(ctx context.Context, rs *rangeSet, specs []ArcSpec, k int, gb *gatherBound, out *remoteLocal) {
 	order := rt.plan(rs)
+	if len(order) == 0 {
+		// Every replica is in probation (e.g. a cluster-file swap
+		// replaced the whole set at once): nothing may serve yet.
+		out.skipped = true
+		return
+	}
 	// +1: a single-replica range's hedge re-targets its only node, so
 	// attempts can exceed len(order); every attempt must be able to
 	// deliver without blocking after runRange returns.
@@ -668,7 +814,7 @@ func (rt *Router) runRange(ctx context.Context, rs *rangeSet, specs []ArcSpec, k
 			defer rt.scanWG.Done()
 			var l remoteLocal
 			rt.scanReplica(actx, ctx, rep, specs, k, gb, &l)
-			rt.settleBreaker(rep, &l, ctx)
+			rt.settleAttempt(rs, rep, &l, ctx)
 			results <- attemptResult{local: l, rep: rep, hedge: hedge}
 		}()
 		return true
@@ -742,21 +888,35 @@ func (rt *Router) runRange(ctx context.Context, rs *rangeSet, specs []ArcSpec, k
 	out.skipped, out.failed = true, failed
 }
 
-// settleBreaker feeds one attempt's outcome to the replica's breaker:
-// success closes/credits it, a replica-local fault counts against it,
-// and an attempt abandoned without an outcome (the query died, or a
-// hedge race was lost) releases any half-open probe it was admitted as.
-func (rt *Router) settleBreaker(rep *replica, l *remoteLocal, qctx context.Context) {
-	if rep.breaker == nil {
-		return
-	}
+// settleAttempt feeds one attempt's outcome to the replica's breaker
+// and the membership machinery: success closes/credits the breaker —
+// and reseeds the latency EWMA when that success was the half-open
+// probe that closed it, so the stale pre-trip EWMA neither dogpiles
+// nor shuns the recovered replica — a replica-local fault counts
+// against the breaker AND arms the read-repair prober (re-admission
+// off the query path, instead of waiting out the cool-down or the next
+// health sweep), and an attempt abandoned without an outcome (the
+// query died, or a hedge race was lost) releases any half-open probe
+// it was admitted as.
+func (rt *Router) settleAttempt(rs *rangeSet, rep *replica, l *remoteLocal, qctx context.Context) {
 	switch {
 	case !l.skipped:
-		rep.breaker.Success()
+		if rep.breaker != nil {
+			wasTripped := rep.breaker.State() != resil.Closed
+			rep.breaker.Success()
+			if wasTripped && rep.breaker.State() == resil.Closed {
+				rep.st.seedEwma(rs.peerEwmaMean(rep))
+			}
+		}
 	case l.failed && qctx.Err() == nil:
-		rep.breaker.Failure()
+		if rep.breaker != nil {
+			rep.breaker.Failure()
+		}
+		rt.ensureProber(rs, rep)
 	default:
-		rep.breaker.Cancel()
+		if rep.breaker != nil {
+			rep.breaker.Cancel()
+		}
 	}
 }
 
@@ -812,6 +972,7 @@ func (rt *Router) scanReplica(actx, qctx context.Context, rep *replica, specs []
 	out.version = resp.Version
 	out.partial = resp.Partial
 	rep.st.setVersion(resp.Version)
+	rep.st.setDepth(resp.Queue)
 	if len(resp.Dists) == k && !resp.Partial {
 		// A full non-degraded local list: its k-th best upper-bounds the
 		// global k-th best, so later scans (hedges, failovers) can prune

@@ -35,10 +35,20 @@ type replicaStat struct {
 	up           *obs.Gauge // 1 = last health check answered, 0 = down
 	versionG     *obs.Gauge // entity version the replica last reported
 
+	probes     *obs.Counter // identity/read-repair probe scans issued to this replica
+	probeFails *obs.Counter // probes that failed (health, boundary, version or identity mismatch)
+	admissions *obs.Counter // times a passed probe (re-)admitted this replica
+	depthG     *obs.Gauge   // queue depth the replica last reported
+
 	// ewmaBits is the scan-latency EWMA in ms (float64 bits; 0 =
 	// unseeded). The router's power-of-two-choices primary selection
 	// compares it, so it must be readable without taking a lock.
 	ewmaBits atomic.Uint64
+
+	// depth is the replica's last-reported concurrent-scan queue depth
+	// (scan responses and health reports both feed it). Primary
+	// selection weighs the latency EWMA by it: score = ewma × (1+depth).
+	depth atomic.Int64
 
 	// version is the replica's last-known entity version, fed by both
 	// health sweeps and scan responses; the router pins gathers to
@@ -67,6 +77,10 @@ func newReplicaStat(reg *obs.Registry, ri int, addr string) *replicaStat {
 		maxMs:        reg.Gauge("halk_replica_max_scan_ms", "Worst completed replica-scan latency since process start.", ls...),
 		up:           reg.Gauge("halk_replica_up", "1 when the replica answered its last health check, else 0.", ls...),
 		versionG:     reg.Gauge("halk_replica_entity_version", "Entity-table version the replica last reported.", ls...),
+		probes:       reg.Counter("halk_replica_probes_total", "Off-path identity/read-repair probe scans issued to this replica.", ls...),
+		probeFails:   reg.Counter("halk_replica_probe_failures_total", "Probe scans that failed a health, boundary, version or identity check.", ls...),
+		admissions:   reg.Counter("halk_replica_admissions_total", "Times a passed probe (re-)admitted this replica to the failover pool.", ls...),
+		depthG:       reg.Gauge("halk_replica_queue_depth", "Concurrent-scan queue depth the replica last reported.", ls...),
 	}
 }
 
@@ -110,6 +124,37 @@ func (st *replicaStat) ewmaMs() float64 {
 	return math.Float64frombits(bits)
 }
 
+// seedEwma overwrites the latency EWMA. The re-admission path calls it
+// with the replica set's mean so a replica returning from a bad spell
+// is neither dogpiled (a stale tiny EWMA would beat every sibling) nor
+// shunned (a stale inflated one — or the unseeded +Inf — would lose
+// every power-of-two comparison). ms <= 0 resets to unseeded.
+func (st *replicaStat) seedEwma(ms float64) {
+	if ms <= 0 {
+		st.ewmaBits.Store(0)
+		return
+	}
+	st.ewmaBits.Store(math.Float64bits(ms))
+}
+
+// setDepth records the queue depth the replica last reported.
+func (st *replicaStat) setDepth(d int) {
+	if d < 0 {
+		d = 0
+	}
+	st.depth.Store(int64(d))
+	st.depthG.Set(float64(d))
+}
+
+// score is what primary selection compares: the latency EWMA weighted
+// by the replica's reported queue depth, ewma × (1 + depth) — two
+// replicas with equal observed latency split primaries by backlog, and
+// a backed-up replica sheds new work before its EWMA degrades. +Inf
+// while the EWMA is unseeded, exactly like ewma().
+func (st *replicaStat) score() float64 {
+	return st.ewma() * (1 + float64(st.depth.Load()))
+}
+
 // setHealth records a health-check outcome: the replica's reported
 // range and version on success, down on failure.
 func (st *replicaStat) setHealth(h *Health, ok bool) {
@@ -121,6 +166,7 @@ func (st *replicaStat) setHealth(h *Health, ok bool) {
 	st.mu.Unlock()
 	if ok {
 		st.setVersion(h.EntityVersion)
+		st.setDepth(h.Queue)
 		st.up.Set(1)
 	} else {
 		st.up.Set(0)

@@ -29,11 +29,18 @@ import (
 // The pre-replica one-address-per-range forms — a plain comma list and
 // a one-address-per-line file — parse unchanged as 1-replica ranges, so
 // existing deployments keep their exact topology.
+//
+// Malformed topologies are errors, never panics: an empty range element
+// in the flag form ("a:1,,b:1"), a separator-only line in the file form
+// ("|" with no addresses), and a duplicate endpoint anywhere (the same
+// address cannot serve two slots) are all rejected up front, so a typo
+// surfaces at boot or reload instead of as a half-routed cluster.
 func ParseTopology(list, file string) ([][]string, error) {
 	if list != "" && file != "" {
 		return nil, fmt.Errorf("-cluster and -cluster-file are mutually exclusive")
 	}
 	var lines []string
+	fromFile := false
 	switch {
 	case list != "":
 		lines = strings.Split(list, ",")
@@ -42,6 +49,7 @@ func ParseTopology(list, file string) ([][]string, error) {
 		if err != nil {
 			return nil, err
 		}
+		fromFile = true
 		for _, line := range strings.Split(string(b), "\n") {
 			if i := strings.IndexByte(line, '#'); i >= 0 {
 				line = line[:i]
@@ -52,16 +60,27 @@ func ParseTopology(list, file string) ([][]string, error) {
 		return nil, nil
 	}
 	var ranges [][]string
-	for _, line := range lines {
+	seen := make(map[string]bool)
+	for li, line := range lines {
 		var replicas []string
 		for _, tok := range strings.FieldsFunc(line, func(r rune) bool {
 			return r == '|' || r == ' ' || r == '\t' || r == '\r'
 		}) {
 			if tok = strings.TrimSpace(tok); tok != "" {
+				if seen[tok] {
+					return nil, fmt.Errorf("duplicate node address %q in cluster topology", tok)
+				}
+				seen[tok] = true
 				replicas = append(replicas, tok)
 			}
 		}
 		if len(replicas) == 0 {
+			if !fromFile {
+				return nil, fmt.Errorf("empty range element %d in -cluster (stray comma?)", li)
+			}
+			if strings.TrimSpace(line) != "" {
+				return nil, fmt.Errorf("cluster-file line %d has separators but no addresses", li+1)
+			}
 			continue // blank or comment-only line
 		}
 		ranges = append(ranges, replicas)

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseTopologyValidation pins the malformed-topology refusals: a
+// stray comma in the flag form, a separator-only line in the file form,
+// and a duplicate endpoint anywhere all error up front instead of
+// producing a half-routed cluster.
+func TestParseTopologyValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		list string
+	}{
+		{"stray-comma", "a:1,,b:1"},
+		{"leading-comma", ",a:1"},
+		{"trailing-comma", "a:1,"},
+		{"dup-across-ranges", "a:1,a:1"},
+		{"dup-within-range", "a:1|a:1,b:1"},
+		{"dup-across-replica-sets", "a:1|b:1,c:1|a:1"},
+	} {
+		if got, err := ParseTopology(tc.list, ""); err == nil {
+			t.Fatalf("%s: ParseTopology(%q) = %v, want error", tc.name, tc.list, got)
+		}
+	}
+
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name    string
+		content string
+	}{
+		{"separator-only-line", "a:1 b:1\n|\nc:1\n"},
+		{"dup-in-file", "a:1 b:1\nb:1\n"},
+		{"only-comments", "# nothing\n\n# here\n"},
+	} {
+		file := filepath.Join(dir, tc.name+".txt")
+		if err := os.WriteFile(file, []byte(tc.content), 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if got, err := ParseTopology("", file); err == nil {
+			t.Fatalf("%s: ParseTopology(file) = %v, want error", tc.name, got)
+		}
+	}
+
+	// Blank and comment-only lines stay fine; dup detection must not trip
+	// on distinct addresses sharing a host.
+	file := filepath.Join(dir, "good.txt")
+	if err := os.WriteFile(file, []byte("# c\na:1 a:2\n\na:3|a:4\n"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ParseTopology("", file)
+	if err != nil {
+		t.Fatalf("ParseTopology(good file): %v", err)
+	}
+	if len(got) != 2 || len(got[0]) != 2 || len(got[1]) != 2 {
+		t.Fatalf("good file parsed to %v", got)
+	}
+}
+
+// FuzzParseTopology drives the -cluster flag grammar and the
+// cluster-file grammar with arbitrary input: parsing must never panic,
+// and any topology it accepts must be well-formed — at least one range,
+// every range non-empty, no blank addresses, no duplicate endpoint
+// anywhere (the property the router's membership layer relies on).
+func FuzzParseTopology(f *testing.F) {
+	for _, seed := range []string{
+		"a:9001|b:9001,a:9002|b:9002",
+		"a:1,b:1,c:1",
+		"a:1|b:1|c:1,a:2",
+		",,",
+		"a:1,,b:1",
+		"a:1,a:1",
+		"|",
+		"a b\tc\rd",
+		"# comment\na:1 b:1\n\na:2|b:2\nc:3 # trailing\n",
+		"a:1 b:1\n|\n",
+		"\x00",
+		strings.Repeat("x,", 64),
+	} {
+		f.Add(seed, false)
+	}
+	f.Fuzz(func(t *testing.T, input string, asFile bool) {
+		var got [][]string
+		var err error
+		if asFile {
+			file := filepath.Join(t.TempDir(), "cluster.txt")
+			if werr := os.WriteFile(file, []byte(input), 0o644); werr != nil {
+				t.Skip()
+			}
+			got, err = ParseTopology("", file)
+		} else {
+			if input == "" {
+				return // empty flag means "no cluster mode", covered elsewhere
+			}
+			got, err = ParseTopology(input, "")
+		}
+		if err != nil {
+			return
+		}
+		if len(got) == 0 {
+			t.Fatalf("accepted %q as an empty topology", input)
+		}
+		seen := make(map[string]bool)
+		for i, reps := range got {
+			if len(reps) == 0 {
+				t.Fatalf("accepted %q with empty range %d", input, i)
+			}
+			for _, addr := range reps {
+				if strings.TrimSpace(addr) == "" {
+					t.Fatalf("accepted %q with a blank address in range %d", input, i)
+				}
+				if seen[addr] {
+					t.Fatalf("accepted %q with duplicate endpoint %q", input, addr)
+				}
+				seen[addr] = true
+			}
+		}
+	})
+}

@@ -215,6 +215,23 @@ func (b *Breaker) Cancel() {
 	}
 }
 
+// Reset force-closes the breaker, clearing the rolling window, the
+// reopen streak and any in-flight half-open probe — as if it had just
+// been built. It is the out-of-band re-admission seam: a supervisor
+// that has verified the guarded component by some channel the breaker
+// cannot see (the cluster router's read-repair prober scanning a
+// replica off the query path) closes the breaker immediately instead
+// of waiting out the open cool-down and the half-open probe cycle.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.streak = 0
+	b.probing = false
+	b.openUntil = time.Time{}
+	b.resetWindow()
+}
+
 // State returns the current state.
 func (b *Breaker) State() State {
 	b.mu.Lock()

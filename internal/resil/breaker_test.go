@@ -259,3 +259,83 @@ func TestBreakerCancelNoOpInClosedAndOpen(t *testing.T) {
 		t.Fatalf("Cancel disturbed an open breaker: %v", b.State())
 	}
 }
+
+func TestBreakerResetForceCloses(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+
+	// Trip twice without closing so the reopen streak grows: the second
+	// open's jitter envelope is wider than the first's.
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after cool-down")
+	}
+	b.Failure() // probe fails → second open, streak = 2
+	if s := b.Stats(); s.Opens != 2 || s.State != "open" {
+		t.Fatalf("stats before reset = %+v, want opens=2 open", s)
+	}
+
+	// Out-of-band re-admission: Reset closes immediately, no cool-down.
+	b.Reset()
+	if b.State() != Closed {
+		t.Fatalf("state after Reset = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("reset breaker refused a call")
+	}
+	s := b.Stats()
+	if s.WindowFailureRate != 0 {
+		t.Fatalf("window failure rate after Reset = %v, want 0 (window cleared)", s.WindowFailureRate)
+	}
+	if s.Opens != 2 {
+		t.Fatalf("Reset rewrote the opens counter: %d, want 2", s.Opens)
+	}
+
+	// The consecutive-miss count was cleared too: it takes a full
+	// ConsecutiveMisses run of fresh failures to trip again.
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("stale pre-Reset failures counted toward a new trip")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after 3 fresh misses = %v, want open", b.State())
+	}
+	// And the backoff streak restarted: this open sits in the base
+	// envelope [OpenBase, OpenBase+Cap(0)) = [100ms, 200ms), not the
+	// extended one a streak of 3 would produce.
+	clk.Advance(250 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused at 250ms; Reset did not clear the backoff streak")
+	}
+}
+
+func TestBreakerResetReleasesHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	// Probe in flight; Reset lands (the supervisor verified the
+	// component out of band). The stale probe's late outcome must not
+	// re-trip the now-closed breaker on its own.
+	b.Reset()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	b.Failure() // the stale probe reports back
+	if b.State() != Closed {
+		t.Fatalf("single late failure re-tripped a reset breaker: %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("reset breaker refused a call after the stale probe's outcome")
+	}
+}

@@ -506,8 +506,10 @@ type statsResponse struct {
 	// Ranges describes the replica topology when the Ranker routes to
 	// replicated entity ranges (cluster router mode): per range, the
 	// replica set, current primary, failover/primary-flip counters and
-	// per-replica breaker states.
-	Ranges []RangeReplicaStats `json:"ranges,omitempty"`
+	// per-replica breaker states. TopologyVersion is the membership
+	// snapshot version, bumped on every join/leave/reload.
+	Ranges          []RangeReplicaStats `json:"ranges,omitempty"`
+	TopologyVersion uint64              `json:"topology_version,omitempty"`
 	// Admission describes the load-shedding gate when one is configured.
 	Admission *admissionSnapshot `json:"admission,omitempty"`
 	// Checkpoint reports the served checkpoint's freshness when the
@@ -541,6 +543,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Shards = s.cfg.Ranker.ShardStats()
 		if rs, ok := s.cfg.Ranker.(ReplicaStatser); ok {
 			resp.Ranges = rs.ReplicaStats()
+		}
+		if tm, ok := s.cfg.Ranker.(TopologyManager); ok {
+			resp.TopologyVersion = tm.TopologyVersion()
 		}
 	}
 	if s.gate != nil {

@@ -6,8 +6,12 @@ import "github.com/halk-kg/halk/internal/resil"
 // liveness, last-known entity version, scan-outcome counters and the
 // latency EWMA the router's primary selection compares.
 type ReplicaSnapshot struct {
-	Node          string  `json:"node"`
-	Healthy       bool    `json:"healthy"`
+	Node    string `json:"node"`
+	Healthy bool   `json:"healthy"`
+	// State is the membership state: "active", "probation", "draining"
+	// or "down". Only active replicas are preferred for gathers;
+	// probation replicas never serve one.
+	State         string  `json:"state,omitempty"`
 	EntityVersion uint64  `json:"entity_version"`
 	Primary       bool    `json:"primary"`
 	Scans         uint64  `json:"scans"`
@@ -17,6 +21,13 @@ type ReplicaSnapshot struct {
 	Hedges        uint64  `json:"hedges"`
 	HedgeWins     uint64  `json:"hedge_wins"`
 	EwmaMs        float64 `json:"ewma_ms"`
+	// QueueDepth is the concurrent-scan depth the replica last
+	// reported; primary selection weighs the EWMA by it.
+	QueueDepth int64 `json:"queue_depth"`
+	// Probes/Admissions count identity-probe scans issued to this
+	// replica and the times a passed probe (re-)admitted it.
+	Probes     uint64 `json:"probes,omitempty"`
+	Admissions uint64 `json:"admissions,omitempty"`
 	// Breaker is the replica's circuit-breaker snapshot when breakers
 	// are configured.
 	Breaker *resil.BreakerStats `json:"breaker,omitempty"`

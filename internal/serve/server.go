@@ -252,6 +252,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/edges", s.recoverHandler("/v1/edges", s.handleEdges))
 	s.mux.HandleFunc("/v1/healthz", s.recoverHandler("/v1/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/stats", s.recoverHandler("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("/v1/topology/join", s.recoverHandler("/v1/topology/join", s.handleTopologyJoin))
+	s.mux.HandleFunc("/v1/topology/leave", s.recoverHandler("/v1/topology/leave", s.handleTopologyLeave))
 	s.mux.Handle("/metrics", cfg.Metrics.Handler())
 	return s, nil
 }
